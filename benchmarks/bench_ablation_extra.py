@@ -1,0 +1,54 @@
+"""Extra design-choice ablations (DESIGN.md §5) beyond the paper's Table VII.
+
+Four axes the paper motivates but does not ablate in a table:
+
+1. unidirectional (Eq. 6) vs bidirectional (Eq. 7) negative sampling — the
+   paper argues bidirectional matters on bipartite (Tmall-like) networks;
+2. Euclidean vs dot-product loss geometry (Section IV.D's triangle-inequality
+   argument);
+3. degree-biased (d^0.75) vs uniform negative sampling;
+4. time-decay kernel on vs off in the temporal walk (Eq. 1 with decay=0 keeps
+   only the β(p, q) bias).
+"""
+
+import numpy as np
+
+from repro.core import EHNA
+from repro.datasets import load
+from repro.eval import evaluate_operator, prepare_link_prediction
+
+BASE = dict(dim=32, epochs=2, seed=0)
+
+CONFIGS = {
+    "full (Eq.7, euclid, d^0.75, decay=1)": {},
+    "unidirectional (Eq.6)": {"bidirectional": False},
+    "dot-product objective": {"objective": "dot"},
+    "uniform negatives": {"negative_power": 0.0},
+    "no time-decay kernel": {"decay": 0.0},
+}
+
+
+def run_extra_ablation(scale: float = 0.12, dataset: str = "tmall"):
+    graph = load(dataset, scale=scale, seed=0)
+    rng = np.random.default_rng(0)
+    data = prepare_link_prediction(graph, rng=rng)
+    results = {}
+    for name, overrides in CONFIGS.items():
+        model = EHNA(**{**BASE, **overrides}).fit(data.train_graph)
+        metrics = evaluate_operator(
+            model.embeddings(), data, "Weighted-L2", repeats=3,
+            rng=np.random.default_rng(1),
+        )
+        results[name] = metrics
+    return results
+
+
+def test_extra_design_ablations(benchmark, save_result):
+    results = benchmark.pedantic(run_extra_ablation, rounds=1, iterations=1)
+    assert set(results) == set(CONFIGS)
+    lines = ["-- Extra ablations (tmall-like, Weighted-L2) --",
+             f"{'Configuration':40s} {'AUC':>8s} {'F1':>8s}"]
+    for name, m in results.items():
+        assert 0.0 <= m["f1"] <= 1.0
+        lines.append(f"{name:40s} {m['auc']:>8.4f} {m['f1']:>8.4f}")
+    save_result("ablation_extra", "\n".join(lines))

@@ -1,0 +1,34 @@
+"""Figure 4 — network reconstruction Precision@P for all methods/datasets.
+
+Paper shape to check (Section V.D): EHNA tops the curves on every dataset;
+all methods converge as P approaches the candidate-pair count.
+"""
+
+from repro.experiments import format_fig4, run_fig4
+from repro.experiments.fig4 import reconstruction_auc_proxy
+
+SCALE = 0.15
+PS = (50, 100, 300, 1000, 3000)
+
+
+def test_fig4_reconstruction_all_datasets(benchmark, save_result):
+    results = benchmark.pedantic(
+        run_fig4,
+        kwargs={"scale": 0.2, "ps": PS, "seed": 0, "repeats": 2,
+                "dim": 32},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(results) == {"digg", "yelp", "tmall", "dblp"}
+    for ds, per_method in results.items():
+        for method, curve in per_method.items():
+            assert all(0.0 <= v <= 1.0 for v in curve.values()), (ds, method)
+    save_result("fig4_reconstruction", format_fig4(results))
+
+    # Record the scalar summary used in EXPERIMENTS.md shape checks.
+    summary = ["", "-- Fig.4 scalar summary (mean precision over grid) --"]
+    for ds, per_method in results.items():
+        row = {m: reconstruction_auc_proxy(c) for m, c in per_method.items()}
+        ranked = sorted(row, key=row.get, reverse=True)
+        summary.append(f"{ds:8s} " + " ".join(f"{m}={row[m]:.3f}" for m in ranked))
+    save_result("fig4_summary", "\n".join(summary))

@@ -1,0 +1,19 @@
+"""Table I — dataset statistics (and generator throughput).
+
+Regenerates the paper's Table I for the synthetic stand-in datasets.  The
+benchmark time is the cost of generating all four datasets at the default
+laptop scale.
+"""
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_dataset_statistics(benchmark, save_result):
+    rows = benchmark.pedantic(
+        run_table1, kwargs={"scale": 1.0, "seed": 0}, rounds=1, iterations=1
+    )
+    assert set(rows) == {"digg", "yelp", "tmall", "dblp"}
+    for name, row in rows.items():
+        assert row["# nodes"] > 0
+        assert row["# temporal edges"] > 0
+    save_result("table1_datasets", format_table1(rows))

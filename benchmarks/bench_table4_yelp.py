@@ -1,0 +1,15 @@
+"""Table IV — link prediction on Yelp (all operators, all methods)."""
+
+from repro.experiments import format_link_table, run_link_table
+
+
+def test_table4_link_prediction_yelp(benchmark, save_result):
+    table = benchmark.pedantic(
+        run_link_table,
+        args=("yelp",),
+        kwargs={"scale": 0.3, "seed": 0, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(table) == {"Mean", "Hadamard", "Weighted-L1", "Weighted-L2"}
+    save_result("table4_yelp", format_link_table("yelp", table))

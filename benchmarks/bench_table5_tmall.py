@@ -1,0 +1,15 @@
+"""Table V — link prediction on Tmall (bipartite purchases)."""
+
+from repro.experiments import format_link_table, run_link_table
+
+
+def test_table5_link_prediction_tmall(benchmark, save_result):
+    table = benchmark.pedantic(
+        run_link_table,
+        args=("tmall",),
+        kwargs={"scale": 0.3, "seed": 0, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(table) == {"Mean", "Hadamard", "Weighted-L1", "Weighted-L2"}
+    save_result("table5_tmall", format_link_table("tmall", table))

@@ -1,0 +1,15 @@
+"""Table VI — link prediction on DBLP (co-authorship)."""
+
+from repro.experiments import format_link_table, run_link_table
+
+
+def test_table6_link_prediction_dblp(benchmark, save_result):
+    table = benchmark.pedantic(
+        run_link_table,
+        args=("dblp",),
+        kwargs={"scale": 0.3, "seed": 0, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+    assert set(table) == {"Mean", "Hadamard", "Weighted-L1", "Weighted-L2"}
+    save_result("table6_dblp", format_link_table("dblp", table))

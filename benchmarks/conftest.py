@@ -1,0 +1,33 @@
+"""Benchmark-suite helpers.
+
+Every experiment bench runs its driver exactly once (``rounds=1``) — these
+are end-to-end experiment regenerations, not micro-benchmarks — and saves the
+paper-shaped table text under ``benchmarks/results/`` so EXPERIMENTS.md can
+be checked against fresh runs.  The substrate micro-benchmarks in
+``bench_substrates.py`` use ordinary multi-round timing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a formatted experiment table to results/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}")
+
+    return _save

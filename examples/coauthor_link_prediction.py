@@ -1,0 +1,53 @@
+"""Who collaborates next? Future link prediction on a co-author network.
+
+Reproduces the Section V.E protocol end to end on the DBLP-like dataset:
+hold out the 20% most recent collaborations, train several embedding methods
+on the older graph, and ask a logistic-regression classifier to tell future
+collaborations from never-collaborating pairs.
+
+Run:  python examples/coauthor_link_prediction.py
+"""
+
+import numpy as np
+
+from repro.baselines import CTDNE, HTNE, LINE, Node2Vec
+from repro.core import EHNA
+from repro.datasets import load
+from repro.eval import evaluate_all_operators, prepare_link_prediction
+
+
+def main() -> None:
+    graph = load("dblp", scale=0.25, seed=3)
+    print(f"co-author network: {graph}")
+
+    # Protocol steps 1-2: temporal holdout + balanced negative pairs.
+    data = prepare_link_prediction(graph, fraction=0.2, rng=np.random.default_rng(0))
+    print(f"predicting {data.positive_pairs.shape[0]} future collaborations "
+          f"against as many never-collaborating pairs\n")
+
+    methods = {
+        "LINE": LINE(dim=32, samples_per_edge=20, seed=0),
+        "Node2Vec": Node2Vec(dim=32, num_walks=6, walk_length=15, epochs=2, seed=0),
+        "CTDNE": CTDNE(dim=32, walks_per_node=6, walk_length=15, epochs=2, seed=0),
+        "HTNE": HTNE(dim=32, epochs=4, seed=0),
+        "EHNA": EHNA(dim=32, epochs=3, seed=0),
+    }
+
+    print(f"{'method':10s} {'operator':12s} {'AUC':>7s} {'F1':>7s} "
+          f"{'Prec':>7s} {'Rec':>7s}")
+    for name, model in methods.items():
+        model.fit(data.train_graph)
+        results = evaluate_all_operators(
+            model.embeddings(), data, repeats=5, rng=np.random.default_rng(1)
+        )
+        best_op = max(results, key=lambda op: results[op]["auc"])
+        m = results[best_op]
+        print(f"{name:10s} {best_op:12s} {m['auc']:7.3f} {m['f1']:7.3f} "
+              f"{m['precision']:7.3f} {m['recall']:7.3f}")
+
+    print("\n(best Table II operator per method; see benchmarks/ for the "
+          "full Tables III-VI grids)")
+
+
+if __name__ == "__main__":
+    main()

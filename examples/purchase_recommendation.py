@@ -1,0 +1,67 @@
+"""Temporal embeddings as a recommender on a bipartite purchase network.
+
+Uses the Tmall-like "Double 11" dataset: users and items share one embedding
+space, so recommending items to a user is a nearest-neighbor query.  Shows
+the bidirectional negative sampling (Eq. 7) that the paper motivates for
+exactly this kind of heterogeneous network, and measures hit-rate against
+each user's held-out future purchases.
+
+Run:  python examples/purchase_recommendation.py
+"""
+
+import numpy as np
+
+from repro.core import EHNA
+from repro.datasets import tmall_like
+
+
+def main() -> None:
+    num_users, num_items = 80, 40
+    graph = tmall_like(
+        num_users=num_users, num_items=num_items, num_purchases=900, seed=5
+    )
+    print(f"purchase network: {graph} (users + items share one id space)")
+
+    # Temporal holdout: learn on the first 80% of purchases.
+    train, held_ids = graph.split_recent(0.2)
+
+    model = EHNA(
+        dim=32,
+        epochs=3,
+        bidirectional=True,  # Eq. 7 — sample negatives on both sides
+        seed=0,
+    )
+    model.fit(train)
+    emb = model.embeddings()
+
+    # Future purchases per user (the ground truth to hit).
+    future: dict[int, set[int]] = {}
+    for e in held_ids:
+        u, i = int(graph.src[e]), int(graph.dst[e])
+        future.setdefault(u, set()).add(i)
+
+    # Items occupy the ids that appear as purchase targets.
+    item_ids = np.unique(graph.dst)
+    hits = total = 0
+    top_k = 10
+    for user, wanted in future.items():
+        dists = np.sum((emb[item_ids] - emb[user]) ** 2, axis=1)
+        recommended = item_ids[np.argsort(dists)[:top_k]]
+        hits += len(set(recommended.tolist()) & wanted)
+        total += min(len(wanted), top_k)
+
+    print(f"\nusers with future purchases: {len(future)}")
+    print(f"hit rate of top-{top_k} nearest-item recommendations: "
+          f"{hits / max(total, 1):.3f}")
+
+    # Popularity baseline for reference.
+    pop_order = item_ids[
+        np.argsort(-np.array([np.sum(train.dst == i) for i in item_ids]))
+    ][:top_k]
+    pop_hits = sum(len(set(pop_order.tolist()) & w) for w in future.values())
+    print(f"hit rate of most-popular-items baseline:       "
+          f"{pop_hits / max(total, 1):.3f}")
+
+
+if __name__ == "__main__":
+    main()

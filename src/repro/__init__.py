@@ -1,0 +1,21 @@
+"""EHNA — Temporal Network Representation Learning via Historical
+Neighborhoods Aggregation (ICDE 2020) — full reproduction.
+
+Public API tour:
+
+- :class:`repro.graph.TemporalGraph` — the timestamped-network substrate;
+- :mod:`repro.datasets` — synthetic stand-ins for the paper's four datasets;
+- :class:`repro.core.EHNA` — the paper's model (plus Table VII ablations);
+- :mod:`repro.baselines` — Node2Vec, DeepWalk, CTDNE, LINE, HTNE;
+- :mod:`repro.eval` — network reconstruction and link prediction harnesses;
+- :mod:`repro.experiments` — drivers regenerating every table and figure;
+- :mod:`repro.nn` — the from-scratch numpy autograd/LSTM substrate.
+"""
+
+from repro.base import EmbeddingMethod
+from repro.core import EHNA, EHNAConfig
+from repro.graph import TemporalGraph
+
+__version__ = "1.0.0"
+
+__all__ = ["TemporalGraph", "EHNA", "EHNAConfig", "EmbeddingMethod", "__version__"]

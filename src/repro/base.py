@@ -1,0 +1,34 @@
+"""The common interface all embedding methods implement.
+
+EHNA and every baseline (Node2Vec, CTDNE, LINE, HTNE) expose the same
+``fit`` / ``embeddings`` protocol so the evaluation harnesses (network
+reconstruction, link prediction, efficiency study) can treat them uniformly —
+exactly how Section V compares them "on an equal footing".
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class EmbeddingMethod(abc.ABC):
+    """A node-embedding learner over a temporal network."""
+
+    #: Human-readable name used in result tables.
+    name: str = "method"
+
+    @abc.abstractmethod
+    def fit(self, graph: TemporalGraph) -> "EmbeddingMethod":
+        """Train on ``graph`` and return self."""
+
+    @abc.abstractmethod
+    def embeddings(self) -> np.ndarray:
+        """The learned ``(num_nodes, dim)`` embedding matrix."""
+
+    def embedding_of(self, node: int) -> np.ndarray:
+        """Convenience accessor for a single node's vector."""
+        return self.embeddings()[node]

@@ -1,0 +1,18 @@
+"""Baseline embedding methods compared against EHNA in Section V."""
+
+from repro.baselines.ctdne import CTDNE
+from repro.baselines.htne import HTNE
+from repro.baselines.line import LINE
+from repro.baselines.node2vec import DeepWalk, Node2Vec
+from repro.baselines.skipgram import SkipGramNS, degree_noise_weights, sentences_to_pairs
+
+__all__ = [
+    "Node2Vec",
+    "DeepWalk",
+    "CTDNE",
+    "LINE",
+    "HTNE",
+    "SkipGramNS",
+    "sentences_to_pairs",
+    "degree_noise_weights",
+]

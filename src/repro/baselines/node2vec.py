@@ -1,0 +1,99 @@
+"""NODE2VEC and DEEPWALK baselines [1, 3].
+
+Node2vec samples second-order biased random walks (parameters ``p``/``q``)
+and feeds them to skip-gram with negative sampling; DeepWalk is the ``p = q
+= 1`` special case with uniform first-order walks.  Both ignore timestamps —
+they are the static references EHNA is compared against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.base import EmbeddingMethod
+from repro.baselines.skipgram import SkipGramNS, degree_noise_weights
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.rng import ensure_rng
+from repro.walks.static import Node2VecWalker, UniformWalker
+
+
+class Node2Vec(EmbeddingMethod):
+    """node2vec: biased static walks + SGNS.
+
+    Paper defaults are ``k = 10`` walks of length ``l = 80`` (Section V.C);
+    the laptop defaults below keep the same walk budget ratio at small scale.
+    """
+
+    name = "Node2Vec"
+
+    def __init__(
+        self,
+        dim: int = 32,
+        num_walks: int = 10,
+        walk_length: int = 20,
+        window: int = 5,
+        p: float = 1.0,
+        q: float = 1.0,
+        num_negatives: int = 5,
+        epochs: int = 2,
+        lr: float = 0.025,
+        seed=None,
+    ):
+        self.dim = dim
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.window = window
+        self.p = p
+        self.q = q
+        self.num_negatives = num_negatives
+        self.epochs = epochs
+        self.lr = lr
+        self._rng = ensure_rng(seed)
+        self._model: SkipGramNS | None = None
+
+    def _corpus(self, graph: TemporalGraph) -> list[list[int]]:
+        walker = Node2VecWalker(graph, p=self.p, q=self.q)
+        return walker.corpus(self.num_walks, self.walk_length, self._rng)
+
+    def fit(self, graph: TemporalGraph) -> "Node2Vec":
+        sentences = self._corpus(graph)
+        self._model = SkipGramNS(
+            graph.num_nodes,
+            dim=self.dim,
+            num_negatives=self.num_negatives,
+            lr=self.lr,
+            noise_weights=degree_noise_weights(graph.degrees()),
+            seed=self._rng,
+        )
+        self.loss_history = self._model.train_corpus(
+            sentences, window=self.window, epochs=self.epochs
+        )
+        return self
+
+    def embeddings(self) -> np.ndarray:
+        if self._model is None:
+            raise RuntimeError("call fit() before embeddings()")
+        return self._model.embeddings()
+
+
+class DeepWalk(Node2Vec):
+    """DeepWalk: uniform walks + SGNS (node2vec with ``p = q = 1``)."""
+
+    name = "DeepWalk"
+
+    def __init__(self, **kwargs):
+        kwargs.pop("p", None)
+        kwargs.pop("q", None)
+        super().__init__(p=1.0, q=1.0, **kwargs)
+
+    def _corpus(self, graph: TemporalGraph) -> list[list[int]]:
+        walker = UniformWalker(graph)
+        sentences: list[list[int]] = []
+        order = np.arange(graph.num_nodes)
+        for _ in range(self.num_walks):
+            self._rng.shuffle(order)
+            for v in order:
+                walk = walker.walk(int(v), self.walk_length, self._rng)
+                if len(walk) > 1:
+                    sentences.append(walk.nodes)
+        return sentences

@@ -1,0 +1,169 @@
+"""Skip-gram with negative sampling (SGNS) — the engine behind the
+DeepWalk / Node2Vec / CTDNE baselines.
+
+Given a corpus of node "sentences" (random walks), SGNS learns input vectors
+``W_in`` and output vectors ``W_out`` such that co-occurring nodes score high
+under ``σ(u·v)`` and sampled noise nodes score low [38].  Training is
+vectorized mini-batch SGD in numpy; duplicate indices inside a batch are
+handled with ``np.add.at`` so gradients accumulate correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.alias import AliasTable
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def sentences_to_pairs(sentences: list[list[int]], window: int, rng=None) -> np.ndarray:
+    """Expand sentences into (center, context) pairs within ``window``.
+
+    The pair list is shuffled so mini-batches mix sentences.
+    """
+    check_positive("window", window)
+    rng = ensure_rng(rng)
+    centers: list[int] = []
+    contexts: list[int] = []
+    for sent in sentences:
+        n = len(sent)
+        for i, center in enumerate(sent):
+            lo = max(0, i - window)
+            hi = min(n, i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    centers.append(center)
+                    contexts.append(sent[j])
+    if not centers:
+        raise ValueError("corpus produced no training pairs")
+    pairs = np.stack(
+        [np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64)],
+        axis=1,
+    )
+    rng.shuffle(pairs)
+    return pairs
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class SkipGramNS:
+    """SGNS trainer over a fixed vocabulary of node ids."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        dim: int = 32,
+        num_negatives: int = 5,
+        lr: float = 0.025,
+        noise_weights=None,
+        clip: float = 5.0,
+        seed=None,
+    ):
+        check_positive("num_nodes", num_nodes)
+        check_positive("dim", dim)
+        check_positive("num_negatives", num_negatives)
+        check_positive("lr", lr)
+        check_positive("clip", clip)
+        rng = ensure_rng(seed)
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.num_negatives = num_negatives
+        self.lr = lr
+        self.clip = clip
+        bound = 0.5 / dim
+        self.w_in = rng.uniform(-bound, bound, size=(num_nodes, dim))
+        self.w_out = np.zeros((num_nodes, dim))
+        if noise_weights is None:
+            noise_weights = np.ones(num_nodes)
+        else:
+            noise_weights = np.asarray(noise_weights, dtype=np.float64)
+            if noise_weights.shape != (num_nodes,):
+                raise ValueError("noise_weights must have one entry per node")
+        self._noise = AliasTable(noise_weights)
+        self._rng = rng
+
+    def train_pairs(self, pairs: np.ndarray, batch_size: int = 64) -> float:
+        """One pass of SGD over (center, context) pairs; returns mean loss.
+
+        Batches stay small by default: within a batch, updates to a repeated
+        node accumulate (``np.add.at``), so very large batches over small
+        vocabularies would multiply the effective step size and diverge.
+        """
+        check_positive("batch_size", batch_size)
+        total, count = 0.0, 0
+        for lo in range(0, pairs.shape[0], batch_size):
+            batch = pairs[lo : lo + batch_size]
+            total += self._step(batch[:, 0], batch[:, 1]) * batch.shape[0]
+            count += batch.shape[0]
+        return total / max(count, 1)
+
+    def train_corpus(
+        self,
+        sentences: list[list[int]],
+        window: int = 5,
+        epochs: int = 1,
+        batch_size: int = 64,
+    ) -> list[float]:
+        """Train on walk sentences; returns per-epoch mean losses."""
+        check_positive("epochs", epochs)
+        losses = []
+        for _ in range(epochs):
+            pairs = sentences_to_pairs(sentences, window, self._rng)
+            losses.append(self.train_pairs(pairs, batch_size=batch_size))
+        return losses
+
+    def _step(self, centers: np.ndarray, contexts: np.ndarray) -> float:
+        b = centers.size
+        q = self.num_negatives
+        negs = self._noise.sample(self._rng, size=(b, q))
+
+        v = self.w_in[centers]  # (B, d)
+        u_pos = self.w_out[contexts]  # (B, d)
+        u_neg = self.w_out[negs]  # (B, Q, d)
+
+        s_pos = np.einsum("bd,bd->b", v, u_pos)
+        s_neg = np.einsum("bd,bqd->bq", v, u_neg)
+        sig_pos = _sigmoid(s_pos)
+        sig_neg = _sigmoid(s_neg)
+
+        # dL/ds for L = -log σ(s_pos) - Σ log σ(-s_neg)
+        g_pos = sig_pos - 1.0  # (B,)
+        g_neg = sig_neg  # (B, Q)
+
+        c = self.clip
+        grad_v = np.clip(
+            g_pos[:, None] * u_pos + np.einsum("bq,bqd->bd", g_neg, u_neg), -c, c
+        )
+        grad_u_pos = np.clip(g_pos[:, None] * v, -c, c)
+        grad_u_neg = np.clip(g_neg[:, :, None] * v[:, None, :], -c, c)
+
+        lr = self.lr
+        np.add.at(self.w_in, centers, -lr * grad_v)
+        np.add.at(self.w_out, contexts, -lr * grad_u_pos)
+        np.add.at(
+            self.w_out, negs.ravel(), -lr * grad_u_neg.reshape(b * q, self.dim)
+        )
+
+        with np.errstate(divide="ignore"):
+            loss = -np.log(np.clip(sig_pos, 1e-12, None)).sum() - np.log(
+                np.clip(1.0 - sig_neg, 1e-12, None)
+            ).sum()
+        return float(loss) / b
+
+    def embeddings(self) -> np.ndarray:
+        """The learned input vectors (the standard word2vec output)."""
+        return self.w_in.copy()
+
+
+def degree_noise_weights(degrees: np.ndarray, power: float = 0.75) -> np.ndarray:
+    """The ``d^0.75`` noise distribution shared by all methods (Section IV.D)."""
+    check_non_negative("power", power)
+    return np.asarray(degrees, dtype=np.float64) ** power

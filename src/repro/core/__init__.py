@@ -1,0 +1,41 @@
+"""EHNA core: attention, aggregation, loss, negative sampling, model."""
+
+from repro.core.aggregation import TwoLevelAggregator, WalkBatch, batch_walks
+from repro.core.attention import (
+    masked_softmax,
+    node_attention,
+    uniform_attention,
+    walk_attention,
+    walk_factors,
+)
+from repro.core.config import EHNAConfig
+from repro.core.loss import margin_hinge_loss
+from repro.core.model import EHNA
+from repro.core.negative_sampling import NegativeSampler
+from repro.core.variants import (
+    ABLATION_VARIANTS,
+    ehna_full,
+    ehna_na,
+    ehna_rw,
+    ehna_sl,
+)
+
+__all__ = [
+    "EHNA",
+    "EHNAConfig",
+    "TwoLevelAggregator",
+    "WalkBatch",
+    "batch_walks",
+    "node_attention",
+    "walk_attention",
+    "walk_factors",
+    "masked_softmax",
+    "uniform_attention",
+    "margin_hinge_loss",
+    "NegativeSampler",
+    "ABLATION_VARIANTS",
+    "ehna_full",
+    "ehna_na",
+    "ehna_rw",
+    "ehna_sl",
+]

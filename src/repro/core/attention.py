@@ -1,0 +1,87 @@
+"""The paper's two temporal attention mechanisms (Eq. 3 and Eq. 4).
+
+Both are parameter-free softmaxes whose logits combine
+
+- *temporal relevance*: ``1 / Σ_{(u,v) in r} t_(u,v)`` — a node touched by
+  recent and frequent walk edges has a large time-sum, hence a small
+  multiplier on its distance, hence a logit near zero, hence high attention;
+- *contextual relevance*: the squared Euclidean distance between the
+  candidate (node embedding ``e_v`` in Eq. 3, walk representation ``h_r`` in
+  Eq. 4) and the target embedding ``e_x``.
+
+The coefficients depend on the embeddings being learned, so they are computed
+with autograd tensors and gradients flow through them.
+
+Timestamps enter on the graph's [0, 1] normalized scale (see DESIGN.md);
+time-sums are clamped below by ``eps`` to keep ``1/Σt`` finite for the oldest
+edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, softmax
+
+#: Additive logit for padded positions — drives their softmax weight to zero.
+_MASK_LOGIT = -1e9
+
+
+def masked_softmax(logits: Tensor, valid: np.ndarray, axis: int = -1) -> Tensor:
+    """Softmax over ``axis`` with invalid positions forced to weight 0."""
+    penalty = Tensor((1.0 - valid) * _MASK_LOGIT)
+    return softmax(logits + penalty, axis=axis)
+
+
+def inverse_time_sums(time_sums: np.ndarray, eps: float) -> np.ndarray:
+    """``1 / max(Σt, eps)`` — the temporal factor of Eq. 3."""
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    return 1.0 / np.maximum(time_sums, eps)
+
+
+def node_attention(
+    dist: Tensor, time_sums: np.ndarray, valid: np.ndarray, eps: float
+) -> Tensor:
+    """Eq. 3: attention over the nodes of each walk.
+
+    Parameters
+    ----------
+    dist:
+        ``(W, T)`` squared distances ``||e_x - e_v||²`` per walk position.
+    time_sums:
+        ``(W, T)`` per-position sums of normalized walk-edge timestamps.
+    valid:
+        ``(W, T)`` 0/1 mask of real (non-padding) positions.
+    eps:
+        Lower clamp for the time sums.
+    """
+    inv = inverse_time_sums(time_sums, eps)
+    logits = dist * Tensor(-inv)
+    return masked_softmax(logits, valid, axis=1)
+
+
+def walk_factors(time_sums: np.ndarray, valid: np.ndarray, eps: float) -> np.ndarray:
+    """Eq. 4's per-walk temporal factor ``(1/|r|) Σ_v 1/Σt_v``.
+
+    ``time_sums``/``valid`` are the same ``(W, T)`` arrays used for node
+    attention; the result has shape ``(W,)``.
+    """
+    inv = inverse_time_sums(time_sums, eps) * valid
+    lengths = np.maximum(valid.sum(axis=1), 1.0)
+    return inv.sum(axis=1) / lengths
+
+
+def walk_attention(dist: Tensor, factors: np.ndarray) -> Tensor:
+    """Eq. 4: attention over the ``k`` walks of each target.
+
+    ``dist`` is ``(B, k)`` squared distances ``||e_x - h_r||²`` and
+    ``factors`` the matching ``(B, k)`` temporal factors.
+    """
+    logits = dist * Tensor(-np.asarray(factors))
+    return softmax(logits, axis=1)
+
+
+def uniform_attention(valid: np.ndarray) -> np.ndarray:
+    """Attention-free weights: 1 on valid positions (EHNA-NA, fallbacks)."""
+    return valid.astype(np.float64)

@@ -1,0 +1,256 @@
+"""The EHNA model: temporal walks + two-level aggregation + margin loss.
+
+``EHNA.fit(graph)`` replays the network's edge formations in mini-batches.
+For every target edge ``(x, y)`` it samples ``k`` temporal walks from each
+endpoint (anchored at ``t(x,y)``), aggregates both historical neighborhoods
+into ``z_x``/``z_y`` with the two-level attention architecture, draws
+degree-biased negatives, and minimizes the (bidirectional) margin loss of
+Eq. 7.
+
+Negative nodes are aggregated through the *same* temporal pipeline, anchored
+at the same ``t(x,y)`` (their relevance per Definition 2 is judged against a
+hypothetical edge at that time); only nodes with no history before the anchor
+fall back to the GraphSAGE-style 2-hop uniform sampling of Section IV.D.
+Routing every node through one pipeline matters: if negatives came from a
+visibly different view (e.g. always the uniform fallback), the loss could be
+minimized by discriminating view types instead of node identities — a
+shortcut that leaves the embeddings useless downstream.
+
+After training, one additional aggregation anchored at each node's most
+recent interaction produces the final embedding table (Section IV.D's
+"``e_x = z_x``" step).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.base import EmbeddingMethod
+from repro.core.aggregation import TwoLevelAggregator, batch_walks
+from repro.core.config import EHNAConfig
+from repro.core.loss import margin_hinge_loss
+from repro.core.negative_sampling import NegativeSampler
+from repro.graph.temporal_graph import TemporalGraph
+from repro.nn.layers import Embedding
+from repro.nn.optim import Adam
+from repro.nn.tensor import concat
+from repro.utils.rng import ensure_rng
+from repro.walks.base import Walk
+from repro.walks.static import UniformWalker
+from repro.walks.temporal import TemporalWalker
+
+
+class EHNA(EmbeddingMethod):
+    """Embedding via Historical Neighborhoods Aggregation.
+
+    Parameters
+    ----------
+    config:
+        Full hyper-parameter bundle; keyword overrides are applied on top,
+        so ``EHNA(dim=64, epochs=10)`` works without building a config.
+    seed:
+        Seed or generator controlling weights, walks and negative samples.
+    """
+
+    name = "EHNA"
+
+    def __init__(self, config: EHNAConfig | None = None, seed=None, **overrides):
+        base = config if config is not None else EHNAConfig()
+        if overrides:
+            base = dataclasses.replace(base, **overrides)
+        self.config = base.validate()
+        self._rng = ensure_rng(seed)
+        self._final: np.ndarray | None = None
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, graph: TemporalGraph, verbose: bool = False) -> "EHNA":
+        """Train on ``graph``; records per-epoch mean loss in ``loss_history``."""
+        cfg = self.config
+        rng = self._rng
+        self.graph = graph
+        self.embedding = Embedding(graph.num_nodes, cfg.dim, rng)
+        self.aggregator = TwoLevelAggregator(
+            cfg.dim, cfg.lstm_layers, cfg.two_level, rng
+        )
+        self.sampler = NegativeSampler(graph, power=cfg.negative_power)
+        self.uniform_walker = UniformWalker(graph)
+        self.temporal_walker = (
+            TemporalWalker(graph, p=cfg.p, q=cfg.q, decay=cfg.decay)
+            if cfg.temporal_walks
+            else None
+        )
+        network_lr = cfg.network_lr if cfg.network_lr is not None else cfg.lr / 20.0
+        optimizers = [
+            Adam(self.embedding.parameters(), lr=cfg.lr, clip=cfg.grad_clip),
+            Adam(self.aggregator.parameters(), lr=network_lr, clip=cfg.grad_clip),
+        ]
+
+        edge_ids = np.arange(graph.num_edges)
+        self.loss_history = []
+        self.aggregator.train()
+        for epoch in range(cfg.epochs):
+            rng.shuffle(edge_ids)
+            losses = []
+            for lo in range(0, edge_ids.size, cfg.batch_size):
+                batch = edge_ids[lo : lo + cfg.batch_size]
+                losses.append(self._train_batch(batch, optimizers))
+            mean_loss = float(np.mean(losses))
+            self.loss_history.append(mean_loss)
+            if verbose:
+                print(f"[EHNA] epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f}")
+
+        self._final = self._final_embeddings()
+        return self
+
+    def _fallback_walks(self, node: int) -> list[Walk]:
+        """GraphSAGE-style 2-hop uniform neighborhood (Section IV.D)."""
+        cfg = self.config
+        return self.uniform_walker.walks(
+            node, cfg.num_walks, cfg.fallback_hops, self._rng
+        )
+
+    def _aggregate(self, targets: np.ndarray, walk_sets, use_attention: bool):
+        cfg = self.config
+        batch = batch_walks(
+            walk_sets,
+            self.graph.scale_time,
+            chronological=cfg.chronological,
+            merge=not cfg.two_level,
+        )
+        return self.aggregator(
+            self.embedding,
+            targets,
+            batch,
+            use_attention=use_attention,
+            time_eps=cfg.time_eps,
+        )
+
+    def _grouped_aggregate(self, nodes, times, include_context: bool = False):
+        """Aggregate every node through the appropriate pipeline, in order.
+
+        Nodes with historical interactions before their anchor time go
+        through the temporal walk + attention path; the rest (and everything
+        when ``temporal_walks=False``, the EHNA-RW ablation) go through
+        uniform walks without attention.  ``times[i] is None`` forces the
+        fallback.  Returns a ``(len(nodes), dim)`` tensor whose rows line up
+        with ``nodes``.
+        """
+        cfg = self.config
+        temporal_idx: list[int] = []
+        temporal_sets: list[list[Walk]] = []
+        static_idx: list[int] = []
+        static_sets: list[list[Walk]] = []
+        for i, (v, t) in enumerate(zip(nodes, times)):
+            v = int(v)
+            if self.temporal_walker is not None and t is not None:
+                walks = self.temporal_walker.walks(
+                    v, float(t), cfg.num_walks, cfg.walk_length, self._rng,
+                    include_context=include_context,
+                )
+                if any(len(w) > 1 for w in walks):
+                    temporal_idx.append(i)
+                    temporal_sets.append(walks)
+                    continue
+            if self.temporal_walker is None:
+                # EHNA-RW: full-length static walks for every node.
+                walks = self.uniform_walker.walks(
+                    v, cfg.num_walks, cfg.walk_length, self._rng
+                )
+            else:
+                walks = self._fallback_walks(v)
+            static_idx.append(i)
+            static_sets.append(walks)
+
+        parts = []
+        order: list[int] = []
+        if temporal_idx:
+            attention = cfg.use_attention and cfg.temporal_walks
+            parts.append(
+                self._aggregate(
+                    np.asarray(nodes)[temporal_idx], temporal_sets, attention
+                )
+            )
+            order.extend(temporal_idx)
+        if static_idx:
+            parts.append(
+                self._aggregate(
+                    np.asarray(nodes)[static_idx], static_sets, use_attention=False
+                )
+            )
+            order.extend(static_idx)
+        stacked = parts[0] if len(parts) == 1 else concat(parts, axis=0)
+        # Restore the caller's row order (getitem backward scatter-adds).
+        inverse = np.empty(len(order), dtype=np.int64)
+        inverse[np.asarray(order)] = np.arange(len(order))
+        return stacked[inverse]
+
+    def _train_batch(self, edge_ids: np.ndarray, optimizers: list[Adam]) -> float:
+        cfg = self.config
+        graph = self.graph
+        xs = graph.src[edge_ids]
+        ys = graph.dst[edge_ids]
+        ts = graph.time[edge_ids]
+        b = edge_ids.size
+
+        # Aggregated embeddings of both endpoints, anchored at the edge time.
+        targets = np.concatenate([xs, ys])
+        anchor = np.concatenate([ts, ts])
+        z = self._grouped_aggregate(targets, anchor)
+        z_x, z_y = z[0:b], z[b : 2 * b]
+
+        # Negatives per Eq. 6/7, anchored at the same edge times so they are
+        # judged through the same historical-neighborhood pipeline.
+        neg_x = self.sampler.sample(
+            (b, cfg.num_negatives), self._rng, exclude_x=xs, exclude_y=ys
+        )
+        neg_t = np.repeat(ts, cfg.num_negatives)
+        zn_x = self._grouped_aggregate(neg_x.ravel(), neg_t).reshape(
+            (b, cfg.num_negatives, cfg.dim)
+        )
+        zn_y = None
+        if cfg.bidirectional:
+            neg_y = self.sampler.sample(
+                (b, cfg.num_negatives), self._rng, exclude_x=xs, exclude_y=ys
+            )
+            zn_y = self._grouped_aggregate(neg_y.ravel(), neg_t).reshape(
+                (b, cfg.num_negatives, cfg.dim)
+            )
+
+        loss = margin_hinge_loss(
+            z_x, z_y, zn_x, cfg.margin, neg_y=zn_y, metric=cfg.objective
+        )
+        for opt in optimizers:
+            opt.zero_grad()
+        loss.backward()
+        for opt in optimizers:
+            opt.step()
+        return loss.item()
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def _final_embeddings(self) -> np.ndarray:
+        """One aggregation per node anchored at its most recent edge."""
+        cfg = self.config
+        graph = self.graph
+        self.aggregator.eval()
+        out = np.zeros((graph.num_nodes, cfg.dim))
+        nodes = np.arange(graph.num_nodes)
+        for lo in range(0, nodes.size, cfg.batch_size):
+            chunk = nodes[lo : lo + cfg.batch_size]
+            anchors = [graph.last_event_time(int(v)) for v in chunk]
+            z = self._grouped_aggregate(chunk, anchors, include_context=True)
+            out[chunk] = z.data
+        self.aggregator.train()
+        return out
+
+    def embeddings(self) -> np.ndarray:
+        """The final aggregated embedding per node (Section IV.D)."""
+        if self._final is None:
+            raise RuntimeError("call fit() before embeddings()")
+        return self._final

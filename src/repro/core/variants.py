@@ -1,0 +1,53 @@
+"""Ablation variants of EHNA (Table VII).
+
+- **EHNA-NA** — no attention: node and walk inputs enter the LSTMs
+  unweighted; everything else unchanged.
+- **EHNA-RW** — traditional random walks: uniform static walks replace the
+  temporal walk, and (per the paper) the attention mechanism is dropped too,
+  since Eq. 3/4 need walk timestamps.
+- **EHNA-SL** — single-layer LSTM, no two-level aggregation: each target's
+  walks are merged into one sequence consumed by a 1-layer LSTM.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import EHNA
+
+
+def ehna_full(seed=None, **overrides) -> EHNA:
+    """The complete model (reference configuration)."""
+    model = EHNA(seed=seed, **overrides)
+    model.name = "EHNA"
+    return model
+
+
+def ehna_na(seed=None, **overrides) -> EHNA:
+    """EHNA without the attention mechanisms."""
+    model = EHNA(seed=seed, **{"use_attention": False, **overrides})
+    model.name = "EHNA-NA"
+    return model
+
+
+def ehna_rw(seed=None, **overrides) -> EHNA:
+    """EHNA with traditional (static, uniform) random walks, no attention."""
+    params = {"temporal_walks": False, "use_attention": False, **overrides}
+    model = EHNA(seed=seed, **params)
+    model.name = "EHNA-RW"
+    return model
+
+
+def ehna_sl(seed=None, **overrides) -> EHNA:
+    """EHNA with a single-layer LSTM and single-level aggregation."""
+    params = {"lstm_layers": 1, "two_level": False, **overrides}
+    model = EHNA(seed=seed, **params)
+    model.name = "EHNA-SL"
+    return model
+
+
+#: Table VII rows in paper order.
+ABLATION_VARIANTS = {
+    "EHNA": ehna_full,
+    "EHNA-NA": ehna_na,
+    "EHNA-RW": ehna_rw,
+    "EHNA-SL": ehna_sl,
+}

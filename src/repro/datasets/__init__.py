@@ -1,0 +1,22 @@
+"""Synthetic temporal-network datasets mirroring the paper's Table I corpora."""
+
+from repro.datasets.generators import (
+    dblp_like,
+    digg_like,
+    temporal_preferential_attachment,
+    temporal_sbm,
+    tmall_like,
+    yelp_like,
+)
+from repro.datasets.registry import PAPER_DATASETS, load
+
+__all__ = [
+    "dblp_like",
+    "digg_like",
+    "tmall_like",
+    "yelp_like",
+    "temporal_preferential_attachment",
+    "temporal_sbm",
+    "PAPER_DATASETS",
+    "load",
+]

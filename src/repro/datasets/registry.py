@@ -1,0 +1,50 @@
+"""Named dataset registry used by the experiment harnesses.
+
+``load("digg")`` etc. return the synthetic stand-ins for the paper's four
+datasets at a chosen ``scale`` (1.0 = the laptop-scale defaults documented in
+DESIGN.md).  The registry keeps the benchmark drivers declarative: every
+table/figure harness iterates ``PAPER_DATASETS`` just as Section V iterates
+Digg / Yelp / Tmall / DBLP.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.generators import dblp_like, digg_like, tmall_like, yelp_like
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.validation import check_positive
+
+#: Dataset names in the order the paper reports them (Table I).
+PAPER_DATASETS = ("digg", "yelp", "tmall", "dblp")
+
+
+def load(name: str, scale: float = 1.0, seed=None) -> TemporalGraph:
+    """Generate the named dataset at ``scale`` times its default size.
+
+    Parameters
+    ----------
+    name:
+        One of ``digg``, ``yelp``, ``tmall``, ``dblp`` (case-insensitive).
+    scale:
+        Multiplier on node/edge counts; 1.0 gives ~3k temporal edges.
+    seed:
+        Seed or generator for reproducibility.
+    """
+    check_positive("scale", scale)
+
+    def s(value: int, minimum: int = 8) -> int:
+        return max(int(round(value * scale)), minimum)
+
+    key = name.lower()
+    if key == "digg":
+        return digg_like(num_users=s(400), num_edges=s(3000), seed=seed)
+    if key == "yelp":
+        return yelp_like(
+            num_users=s(300), num_businesses=s(150), num_reviews=s(3000), seed=seed
+        )
+    if key == "tmall":
+        return tmall_like(
+            num_users=s(300), num_items=s(120), num_purchases=s(3000), seed=seed
+        )
+    if key == "dblp":
+        return dblp_like(num_authors=s(300), num_papers=s(600), seed=seed)
+    raise KeyError(f"unknown dataset {name!r}; expected one of {PAPER_DATASETS}")

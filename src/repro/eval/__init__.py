@@ -1,0 +1,30 @@
+"""Evaluation harness: reconstruction, link prediction, metrics, classifier."""
+
+from repro.eval.classifiers import LogisticRegression
+from repro.eval.link_prediction import (
+    LinkPredictionData,
+    evaluate_all_operators,
+    evaluate_operator,
+    holdout_pairs,
+    prepare_link_prediction,
+    sample_negative_pairs,
+)
+from repro.eval.metrics import auc_score, binary_metrics, error_reduction
+from repro.eval.operators import OPERATORS, edge_features
+from repro.eval.reconstruction import reconstruction_precision
+
+__all__ = [
+    "LogisticRegression",
+    "LinkPredictionData",
+    "prepare_link_prediction",
+    "holdout_pairs",
+    "sample_negative_pairs",
+    "evaluate_operator",
+    "evaluate_all_operators",
+    "auc_score",
+    "binary_metrics",
+    "error_reduction",
+    "OPERATORS",
+    "edge_features",
+    "reconstruction_precision",
+]

@@ -1,0 +1,68 @@
+"""Classification metrics used in Tables III-VI: AUC, F1, precision, recall.
+
+Implemented from scratch (no sklearn offline): AUC via the Mann-Whitney
+rank statistic with tie correction, the threshold metrics from the confusion
+counts.  ``error_reduction`` is the Table III footnote formula from
+"Watch your step" [40].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from scipy.stats import rankdata
+
+
+def auc_score(y_true, scores) -> float:
+    """Area under the ROC curve via the rank-sum statistic (ties averaged)."""
+    y_true = np.asarray(y_true, dtype=bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise ValueError("y_true and scores must be equal-length 1-D arrays")
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC requires both positive and negative examples")
+    ranks = rankdata(scores)
+    rank_sum = ranks[y_true].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def binary_metrics(y_true, y_pred) -> dict[str, float]:
+    """Precision, recall, F1 and accuracy from hard predictions.
+
+    Degenerate denominators (no predicted/true positives) yield 0.0, matching
+    the usual convention.
+    """
+    y_true = np.asarray(y_true, dtype=bool)
+    y_pred = np.asarray(y_pred, dtype=bool)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError("y_true and y_pred must be equal-length 1-D arrays")
+    tp = int(np.sum(y_true & y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    accuracy = (tp + tn) / y_true.size
+    return {
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "accuracy": accuracy,
+    }
+
+
+def error_reduction(best_baseline: float, ours: float) -> float:
+    """Relative error reduction ``((1 - them) - (1 - us)) / (1 - them)`` [40].
+
+    Positive when our method beats the baseline; the baseline hitting a
+    perfect 1.0 yields 0 reduction by convention (no error left to reduce).
+    """
+    them_err = 1.0 - best_baseline
+    if them_err <= 0:
+        return 0.0
+    return (ours - best_baseline) / them_err

@@ -1,0 +1,58 @@
+"""Binary operators turning two node embeddings into one edge feature
+(Table II of the paper).
+
+Each operator encodes a different hypothesis about how linked nodes relate in
+the embedding space — e.g. Weighted-L1/L2 succeed exactly when linked nodes
+are *close*, which is what EHNA's Euclidean objective optimizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_op(ex: np.ndarray, ey: np.ndarray) -> np.ndarray:
+    """``(e_x + e_y) / 2`` elementwise."""
+    return (ex + ey) / 2.0
+
+
+def hadamard_op(ex: np.ndarray, ey: np.ndarray) -> np.ndarray:
+    """``e_x * e_y`` elementwise."""
+    return ex * ey
+
+
+def weighted_l1_op(ex: np.ndarray, ey: np.ndarray) -> np.ndarray:
+    """``|e_x - e_y|`` elementwise."""
+    return np.abs(ex - ey)
+
+
+def weighted_l2_op(ex: np.ndarray, ey: np.ndarray) -> np.ndarray:
+    """``|e_x - e_y|²`` elementwise."""
+    return (ex - ey) ** 2
+
+
+#: Table II, in paper order.
+OPERATORS = {
+    "Mean": mean_op,
+    "Hadamard": hadamard_op,
+    "Weighted-L1": weighted_l1_op,
+    "Weighted-L2": weighted_l2_op,
+}
+
+
+def edge_features(embeddings: np.ndarray, pairs: np.ndarray, operator) -> np.ndarray:
+    """Apply ``operator`` to the embeddings of each (u, v) pair.
+
+    ``operator`` may be a callable or a Table II name.
+    """
+    if isinstance(operator, str):
+        try:
+            operator = OPERATORS[operator]
+        except KeyError:
+            raise KeyError(
+                f"unknown operator {operator!r}; expected one of {list(OPERATORS)}"
+            ) from None
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must be an (n, 2) array")
+    return operator(embeddings[pairs[:, 0]], embeddings[pairs[:, 1]])

@@ -1,0 +1,33 @@
+"""Experiment drivers — one per table/figure of Section V (see DESIGN.md)."""
+
+from repro.experiments.fig4 import DEFAULT_PS, format_fig4, run_fig4
+from repro.experiments.fig5 import DEFAULT_GRIDS, format_fig5, run_fig5
+from repro.experiments.link_tables import (
+    TABLE_FOR_DATASET,
+    format_link_table,
+    run_link_table,
+)
+from repro.experiments.methods import METHOD_ORDER, default_methods
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table7 import format_table7, run_table7
+from repro.experiments.table8 import format_table8, run_table8
+
+__all__ = [
+    "default_methods",
+    "METHOD_ORDER",
+    "run_table1",
+    "format_table1",
+    "run_fig4",
+    "format_fig4",
+    "DEFAULT_PS",
+    "run_link_table",
+    "format_link_table",
+    "TABLE_FOR_DATASET",
+    "run_table7",
+    "format_table7",
+    "run_table8",
+    "format_table8",
+    "run_fig5",
+    "format_fig5",
+    "DEFAULT_GRIDS",
+]

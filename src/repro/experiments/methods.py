@@ -1,0 +1,51 @@
+"""The method roster of Section V (LINE, Node2Vec, CTDNE, HTNE, EHNA).
+
+``default_methods`` returns zero-argument factories so every experiment can
+construct fresh, identically configured models.  Parameters are laptop-scale
+versions of Section V.C (see DESIGN.md's scale note); the relative budgets
+mirror the paper — e.g. Node2Vec walks are longer than EHNA's, LINE's cost
+depends only on its sample count.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.base import EmbeddingMethod
+from repro.baselines import CTDNE, HTNE, LINE, Node2Vec
+from repro.core import EHNA
+
+#: Method names in the order the paper's tables list them.
+METHOD_ORDER = ("LINE", "Node2Vec", "CTDNE", "HTNE", "EHNA")
+
+
+def default_methods(
+    dim: int = 32,
+    seed: int = 0,
+    ehna_epochs: int = 3,
+    sgns_epochs: int = 2,
+) -> dict[str, Callable[[], EmbeddingMethod]]:
+    """Factories for the five methods compared throughout Section V."""
+    return {
+        "LINE": lambda: LINE(dim=dim, samples_per_edge=20, seed=seed),
+        "Node2Vec": lambda: Node2Vec(
+            dim=dim,
+            num_walks=6,
+            walk_length=15,
+            window=5,
+            p=1.0,
+            q=1.0,
+            epochs=sgns_epochs,
+            seed=seed,
+        ),
+        "CTDNE": lambda: CTDNE(
+            dim=dim,
+            walks_per_node=6,
+            walk_length=15,
+            window=5,
+            epochs=sgns_epochs,
+            seed=seed,
+        ),
+        "HTNE": lambda: HTNE(dim=dim, epochs=2 * sgns_epochs, seed=seed),
+        "EHNA": lambda: EHNA(dim=dim, epochs=ehna_epochs, seed=seed),
+    }

@@ -1,0 +1,14 @@
+"""Temporal-graph substrate: data structure, IO and statistics."""
+
+from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.stats import GraphStatistics, graph_statistics
+from repro.graph.temporal_graph import EdgeEvent, TemporalGraph
+
+__all__ = [
+    "TemporalGraph",
+    "EdgeEvent",
+    "load_edge_list",
+    "save_edge_list",
+    "GraphStatistics",
+    "graph_statistics",
+]

@@ -1,0 +1,316 @@
+"""The temporal-network data structure (Definition 1 of the paper).
+
+A :class:`TemporalGraph` is an undirected multigraph whose every edge carries
+a timestamp and a weight.  The layout is a time-sorted edge table plus a
+per-node, time-sorted incidence index, so the queries the algorithms need are
+all cheap:
+
+- ``events_before(v, t)``: the historical interactions of ``v`` strictly (or
+  non-strictly) before ``t`` — one ``searchsorted`` on the per-node time
+  column.  This powers the temporal random walk (Section IV.A) and HTNE's
+  neighborhood-formation sequences.
+- ``edges_until(t)`` / ``snapshot(t)``: the graph as of time ``t``, used by
+  the link-prediction protocol (train on the oldest 80% of edges).
+- chronological edge iteration, used to replay edge formations during EHNA
+  training.
+
+Timestamps may be arbitrary floats (years, epoch seconds).  ``times01`` gives
+the monotone rescaling to ``[0, 1]`` used inside decay kernels and attention
+(see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class EdgeEvent:
+    """One timestamped interaction, as yielded by chronological iteration."""
+
+    u: int
+    v: int
+    time: float
+    weight: float
+    edge_id: int
+
+
+class TemporalGraph:
+    """Undirected temporal multigraph with O(log deg) historical queries.
+
+    Construct via :meth:`from_edges`; the constructor itself expects already
+    validated, time-sorted arrays and is considered internal.
+    """
+
+    def __init__(self, num_nodes, src, dst, time, weight):
+        self._n = int(num_nodes)
+        self._src = src
+        self._dst = dst
+        self._time = time
+        self._weight = weight
+        self._build_incidence()
+        self._pair_set = None  # lazy: set of (min(u,v), max(u,v))
+        self._times01 = None  # lazy: times rescaled to [0, 1]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, src, dst, time, weight=None, num_nodes=None) -> "TemporalGraph":
+        """Build a graph from parallel edge arrays.
+
+        Edges are stably sorted by timestamp.  Self-loops are rejected;
+        parallel edges (repeat interactions) are kept — they are meaningful
+        temporal events (e.g. repeat collaborations in DBLP).
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        time = np.asarray(time, dtype=np.float64)
+        if src.shape != dst.shape or src.shape != time.shape or src.ndim != 1:
+            raise ValueError("src, dst and time must be 1-D arrays of equal length")
+        if src.size == 0:
+            raise ValueError("a temporal graph needs at least one edge")
+        if np.any(src == dst):
+            raise ValueError("self-loops are not allowed in a temporal network")
+        if not np.all(np.isfinite(time)):
+            raise ValueError("timestamps must be finite")
+        if weight is None:
+            weight = np.ones(src.size, dtype=np.float64)
+        else:
+            weight = np.asarray(weight, dtype=np.float64)
+            if weight.shape != src.shape:
+                raise ValueError("weight must match src/dst/time in length")
+            if np.any(weight <= 0) or not np.all(np.isfinite(weight)):
+                raise ValueError("edge weights must be finite and positive")
+
+        max_node = int(max(src.max(), dst.max()))
+        if np.any(src < 0) or np.any(dst < 0):
+            raise ValueError("node ids must be non-negative integers")
+        if num_nodes is None:
+            num_nodes = max_node + 1
+        elif num_nodes <= max_node:
+            raise ValueError(
+                f"num_nodes={num_nodes} too small for max node id {max_node}"
+            )
+
+        order = np.argsort(time, kind="stable")
+        return cls(num_nodes, src[order], dst[order], time[order], weight[order])
+
+    def _build_incidence(self) -> None:
+        """Per-node incidence lists sorted by time (CSR layout)."""
+        n, m = self._n, self._src.size
+        counts = np.bincount(self._src, minlength=n) + np.bincount(
+            self._dst, minlength=n
+        )
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        nbr = np.empty(2 * m, dtype=np.int64)
+        eid = np.empty(2 * m, dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        # Edges are globally time-sorted, so appending in edge order keeps each
+        # node's incidence slice time-sorted too.
+        for e in range(m):
+            u, v = self._src[e], self._dst[e]
+            nbr[cursor[u]] = v
+            eid[cursor[u]] = e
+            cursor[u] += 1
+            nbr[cursor[v]] = u
+            eid[cursor[v]] = e
+            cursor[v] += 1
+        self._inc_offsets = offsets
+        self._inc_nbr = nbr
+        self._inc_eid = eid
+        self._inc_time = self._time[eid]
+        self._degree = counts
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (ids are ``0..num_nodes-1``)."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of temporal edge events (parallel edges counted)."""
+        return self._src.size
+
+    @property
+    def src(self) -> np.ndarray:
+        """Edge sources, time-sorted (read-only view)."""
+        return self._src
+
+    @property
+    def dst(self) -> np.ndarray:
+        """Edge destinations, time-sorted (read-only view)."""
+        return self._dst
+
+    @property
+    def time(self) -> np.ndarray:
+        """Edge timestamps, non-decreasing (read-only view)."""
+        return self._time
+
+    @property
+    def weight(self) -> np.ndarray:
+        """Edge weights (read-only view)."""
+        return self._weight
+
+    @property
+    def time_span(self) -> tuple[float, float]:
+        """(earliest, latest) timestamp."""
+        return float(self._time[0]), float(self._time[-1])
+
+    def degrees(self) -> np.ndarray:
+        """Temporal degree of every node (# incident edge events)."""
+        return self._degree.copy()
+
+    def distinct_neighbor_counts(self) -> np.ndarray:
+        """Number of distinct neighbors of every node (static degree)."""
+        out = np.empty(self._n, dtype=np.int64)
+        for v in range(self._n):
+            lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
+            out[v] = np.unique(self._inc_nbr[lo:hi]).size
+        return out
+
+    def times01(self) -> np.ndarray:
+        """Edge timestamps rescaled monotonically to ``[0, 1]``.
+
+        A constant-time graph maps everything to 0.  The scaling is cached.
+        """
+        if self._times01 is None:
+            lo, hi = self.time_span
+            span = hi - lo
+            if span == 0:
+                self._times01 = np.zeros_like(self._time)
+            else:
+                self._times01 = (self._time - lo) / span
+        return self._times01
+
+    def scale_time(self, t: float) -> float:
+        """Map one raw timestamp onto the :meth:`times01` scale."""
+        lo, hi = self.time_span
+        span = hi - lo
+        if span == 0:
+            return 0.0
+        return (float(t) - lo) / span
+
+    # ------------------------------------------------------------------
+    # incidence queries
+    # ------------------------------------------------------------------
+    def incident(self, v: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All incident events of ``v`` as ``(neighbors, times, edge_ids)``.
+
+        Arrays are time-sorted views; callers must not mutate them.
+        """
+        lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
+        return self._inc_nbr[lo:hi], self._inc_time[lo:hi], self._inc_eid[lo:hi]
+
+    def events_before(
+        self, v: int, t: float, inclusive: bool = True
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Incident events of ``v`` with ``time <= t`` (or ``< t``).
+
+        Returns ``(neighbors, times, edge_ids)`` time-sorted.  This is the
+        "historical interactions" query of Definition 2.
+        """
+        lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
+        side = "right" if inclusive else "left"
+        cut = lo + np.searchsorted(self._inc_time[lo:hi], t, side=side)
+        return self._inc_nbr[lo:cut], self._inc_time[lo:cut], self._inc_eid[lo:cut]
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Distinct neighbors of ``v`` over the whole timeline."""
+        lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
+        return np.unique(self._inc_nbr[lo:hi])
+
+    def last_event_time(self, v: int) -> float | None:
+        """Timestamp of the most recent interaction of ``v`` (None if isolated)."""
+        lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
+        if hi == lo:
+            return None
+        return float(self._inc_time[hi - 1])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether any event ever connected ``u`` and ``v``."""
+        if self._pair_set is None:
+            lo = np.minimum(self._src, self._dst)
+            hi = np.maximum(self._src, self._dst)
+            self._pair_set = set(zip(lo.tolist(), hi.tolist()))
+        a, b = (u, v) if u < v else (v, u)
+        return (a, b) in self._pair_set
+
+    # ------------------------------------------------------------------
+    # temporal slicing
+    # ------------------------------------------------------------------
+    def edges_until(self, t: float, inclusive: bool = True) -> np.ndarray:
+        """Edge-id array of all events with ``time <= t`` (or ``< t``)."""
+        side = "right" if inclusive else "left"
+        cut = np.searchsorted(self._time, t, side=side)
+        return np.arange(cut, dtype=np.int64)
+
+    def snapshot(self, t: float, inclusive: bool = True) -> "TemporalGraph":
+        """The network as of time ``t`` (same node-id space)."""
+        ids = self.edges_until(t, inclusive=inclusive)
+        if ids.size == 0:
+            raise ValueError(f"snapshot at t={t} would contain no edges")
+        return TemporalGraph(
+            self._n,
+            self._src[ids],
+            self._dst[ids],
+            self._time[ids],
+            self._weight[ids],
+        )
+
+    def split_recent(self, fraction: float) -> tuple["TemporalGraph", np.ndarray]:
+        """Hold out the most recent ``fraction`` of edges (link-prediction protocol).
+
+        Returns ``(train_graph, held_out_edge_ids)`` where the train graph
+        keeps the same node-id space.  Ties in time are broken by edge order,
+        matching "remove 20% of the most recent edges" in Section V.E.
+        """
+        check_fraction("fraction", fraction)
+        m = self.num_edges
+        n_hold = int(round(m * fraction))
+        n_hold = min(max(n_hold, 1), m - 1)
+        keep = np.arange(m - n_hold, dtype=np.int64)
+        hold = np.arange(m - n_hold, m, dtype=np.int64)
+        train = TemporalGraph(
+            self._n,
+            self._src[keep],
+            self._dst[keep],
+            self._time[keep],
+            self._weight[keep],
+        )
+        return train, hold
+
+    def edge_tuples(self, edge_ids=None) -> list[tuple[int, int, float]]:
+        """Materialize ``(u, v, t)`` tuples for the given edge ids (all if None)."""
+        if edge_ids is None:
+            edge_ids = range(self.num_edges)
+        return [
+            (int(self._src[e]), int(self._dst[e]), float(self._time[e]))
+            for e in edge_ids
+        ]
+
+    def iter_chronological(self):
+        """Yield :class:`EdgeEvent` in non-decreasing time order."""
+        for e in range(self.num_edges):
+            yield EdgeEvent(
+                u=int(self._src[e]),
+                v=int(self._dst[e]),
+                time=float(self._time[e]),
+                weight=float(self._weight[e]),
+                edge_id=e,
+            )
+
+    def __repr__(self) -> str:
+        lo, hi = self.time_span
+        return (
+            f"TemporalGraph(nodes={self._n}, events={self.num_edges}, "
+            f"time=[{lo:g}, {hi:g}])"
+        )

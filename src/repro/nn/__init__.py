@@ -1,0 +1,37 @@
+"""From-scratch numpy neural-network substrate (autograd, layers, optim).
+
+Replaces the PyTorch stack the paper's implementation would use; see
+DESIGN.md's substitution table.
+"""
+
+from repro.nn.gradcheck import check_gradients, numerical_gradient
+from repro.nn.layers import (
+    BatchNorm1d,
+    Embedding,
+    Linear,
+    LSTM,
+    Module,
+    Sequential,
+    StackedLSTM,
+)
+from repro.nn.optim import Adam, SGD
+from repro.nn.tensor import Tensor, concat, softmax, squared_distance, stack
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "softmax",
+    "squared_distance",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LSTM",
+    "StackedLSTM",
+    "BatchNorm1d",
+    "Sequential",
+    "SGD",
+    "Adam",
+    "check_gradients",
+    "numerical_gradient",
+]

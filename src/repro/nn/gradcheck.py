@@ -1,0 +1,51 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+Used heavily by ``tests/nn`` to certify that every op and layer backward
+matches central differences — the substitute for trusting a mature framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data)
+    flat = tensor.data.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = float(fn().data)
+        flat[i] = orig - eps
+        minus = float(fn().data)
+        flat[i] = orig
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(fn, tensors: list[Tensor], eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> float:
+    """Compare autograd gradients of scalar ``fn()`` against finite differences.
+
+    Returns the worst absolute error; raises ``AssertionError`` on mismatch.
+    """
+    for t in tensors:
+        t.zero_grad()
+    out = fn()
+    if out.data.size != 1:
+        raise ValueError("check_gradients requires a scalar function")
+    out.backward()
+    worst = 0.0
+    for t in tensors:
+        analytic = t.grad if t.grad is not None else np.zeros_like(t.data)
+        numeric = numerical_gradient(fn, t, eps=eps)
+        err = np.max(np.abs(analytic - numeric))
+        worst = max(worst, float(err))
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"gradient mismatch: max |analytic - numeric| = {err:.3e}"
+            )
+    return worst

@@ -1,0 +1,36 @@
+"""Parameter initializers.
+
+All initializers take an explicit RNG so model construction is reproducible
+from the harness seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.rng import ensure_rng
+
+
+def xavier_uniform(shape: tuple[int, ...], rng=None, gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform initialization for weight matrices."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = shape[0], shape[-1]
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def uniform(shape: tuple[int, ...], low: float, high: float, rng=None) -> Tensor:
+    """Uniform initialization in ``[low, high)``."""
+    rng = ensure_rng(rng)
+    return Tensor(rng.uniform(low, high, size=shape), requires_grad=True)
+
+
+def zeros(shape: tuple[int, ...]) -> Tensor:
+    """All-zero parameter (the usual bias initialization)."""
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def ones(shape: tuple[int, ...]) -> Tensor:
+    """All-one parameter (batch-norm scale)."""
+    return Tensor(np.ones(shape), requires_grad=True)

@@ -1,0 +1,275 @@
+"""Neural-network layers on top of the autograd engine.
+
+Implements exactly the components Algorithm 1 of the paper requires:
+``Embedding`` (the node-embedding table ``e_v``), ``Linear`` (the readout
+``W·[H||e_x]``), ``LSTM``/``StackedLSTM`` (the two aggregators) and
+``BatchNorm1d`` (the BN of lines 4 and 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+
+class Module:
+    """Base class: parameter discovery, grad clearing, train/eval mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors of this module and its submodules."""
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            for p in _collect(value):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+    def modules(self) -> list["Module"]:
+        """This module and all nested submodules."""
+        found: list[Module] = [self]
+        for value in self.__dict__.values():
+            found.extend(_collect_modules(value))
+        return found
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch to training mode (affects BatchNorm)."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+
+def _collect(value) -> list[Tensor]:
+    if isinstance(value, Tensor) and value.requires_grad:
+        return [value]
+    if isinstance(value, Module):
+        return value.parameters()
+    if isinstance(value, (list, tuple)):
+        out: list[Tensor] = []
+        for item in value:
+            out.extend(_collect(item))
+        return out
+    return []
+
+
+def _collect_modules(value) -> list["Module"]:
+    if isinstance(value, Module):
+        return value.modules()
+    if isinstance(value, (list, tuple)):
+        out: list[Module] = []
+        for item in value:
+            out.extend(_collect_modules(item))
+        return out
+    return []
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        check_positive("in_features", in_features)
+        check_positive("out_features", out_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform((in_features, out_features), rng)
+        self.bias = init.zeros((out_features,)) if bias else None
+
+    def __call__(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table of node embeddings ``e_v``.
+
+    The default initialization bound ``1/sqrt(dim)`` gives roughly unit-norm
+    rows, so Euclidean distances between fresh embeddings are O(1) — the
+    regime the attention (Eq. 3/4) and margin loss (Eq. 5-7) operate in.
+    (word2vec-style models instead want the tiny ``0.5/dim`` bound; pass it
+    via ``bound``.)
+    """
+
+    def __init__(self, num_embeddings: int, dim: int, rng=None, bound: float | None = None):
+        super().__init__()
+        check_positive("num_embeddings", num_embeddings)
+        check_positive("dim", dim)
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        if bound is None:
+            bound = 1.0 / np.sqrt(dim)
+        self.weight = init.uniform((num_embeddings, dim), -bound, bound, rng)
+
+    def __call__(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.weight[indices]
+
+
+class LSTM(Module):
+    """Single-layer LSTM over a list of per-step batches.
+
+    ``forward(steps, mask)`` takes ``steps`` as a list of ``(B, D)`` tensors
+    and an optional ``(T, B)`` 0/1 mask; masked steps carry the previous
+    state through unchanged, which is how variable-length temporal walks are
+    batched.  Gate order is input, forget, cell, output; the forget-gate bias
+    starts at 1 (standard remedy for vanishing memory).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng=None):
+        super().__init__()
+        check_positive("input_size", input_size)
+        check_positive("hidden_size", hidden_size)
+        rng = ensure_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = init.xavier_uniform((input_size, 4 * hidden_size), rng)
+        self.w_hh = init.xavier_uniform((hidden_size, 4 * hidden_size), rng)
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def step(self, x: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        """One LSTM step for inputs ``x`` (B, D) and state ``(h, c)``."""
+        hs = self.hidden_size
+        z = x @ self.w_ih + h @ self.w_hh + self.bias
+        i = z[:, 0:hs].sigmoid()
+        f = z[:, hs : 2 * hs].sigmoid()
+        g = z[:, 2 * hs : 3 * hs].tanh()
+        o = z[:, 3 * hs : 4 * hs].sigmoid()
+        c_new = f * c + i * g
+        h_new = o * c_new.tanh()
+        return h_new, c_new
+
+    def __call__(self, steps, mask=None) -> tuple[list[Tensor], Tensor]:
+        """Run the full sequence; returns (per-step outputs, final hidden)."""
+        if not steps:
+            raise ValueError("LSTM needs at least one input step")
+        batch = steps[0].shape[0]
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: list[Tensor] = []
+        for t, x in enumerate(steps):
+            h_new, c_new = self.step(x, h, c)
+            if mask is not None:
+                m = Tensor(mask[t].reshape(batch, 1))
+                h = m * h_new + (1.0 - m) * h
+                c = m * c_new + (1.0 - m) * c
+            else:
+                h, c = h_new, c_new
+            outputs.append(h)
+        return outputs, h
+
+
+class StackedLSTM(Module):
+    """Multi-layer LSTM — the paper's aggregator (2 layers by default)."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 2, rng=None):
+        super().__init__()
+        check_positive("num_layers", num_layers)
+        rng = ensure_rng(rng)
+        self.layers = [
+            LSTM(input_size if i == 0 else hidden_size, hidden_size, rng)
+            for i in range(num_layers)
+        ]
+
+    def __call__(self, steps, mask=None) -> tuple[list[Tensor], Tensor]:
+        """Feed the sequence through every layer; final hidden is the summary."""
+        outputs = steps
+        final = None
+        for layer in self.layers:
+            outputs, final = layer(outputs, mask=mask)
+        return outputs, final
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over feature vectors (B, D).
+
+    Uses batch statistics and updates running averages in training mode;
+    uses the running averages at inference, as in Ioffe & Szegedy [33].
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        check_positive("num_features", num_features)
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = init.ones((num_features,))
+        self.beta = init.zeros((num_features,))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected input of shape (B, {self.num_features}), got {x.shape}"
+            )
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean
+                + self.momentum * mean.data.ravel()
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var
+                + self.momentum * var.data.ravel()
+            )
+            inv = (var + self.eps) ** -0.5
+            normalized = centered * inv
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            inv = Tensor(1.0 / np.sqrt(self.running_var + self.eps).reshape(1, -1))
+            normalized = (x - mean) * inv
+        return normalized * self.gamma + self.beta
+
+
+class Sequential(Module):
+    """Feed-forward composition of layers/callables."""
+
+    def __init__(self, *layers):
+        super().__init__()
+        self.layers = list(layers)
+
+    def __call__(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Embedding",
+    "LSTM",
+    "StackedLSTM",
+    "BatchNorm1d",
+    "Sequential",
+    "concat",
+]

@@ -1,0 +1,104 @@
+"""Optimizers: mini-batch SGD (with momentum) and Adam.
+
+The paper trains with mini-batch stochastic gradient descent (Section IV.B);
+Adam is provided as the practical default for the LSTM stack, whose gate
+gradients span orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.validation import check_positive
+
+
+class Optimizer:
+    """Base optimizer over a fixed parameter list."""
+
+    def __init__(self, params: list[Tensor], lr: float):
+        check_positive("lr", lr)
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        for p in params:
+            if not p.requires_grad:
+                raise ValueError("all optimized tensors must require grad")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and grad clipping."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0, clip: float | None = None):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.clip = clip
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.clip is not None:
+                g = np.clip(g, -self.clip, self.clip)
+            if self.momentum > 0:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction and optional grad clipping."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        clip: float | None = None,
+    ):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = betas
+        self.eps = eps
+        self.clip = clip
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        correct1 = 1.0 - b1**self._t
+        correct2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.clip is not None:
+                g = np.clip(g, -self.clip, self.clip)
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / correct1
+            v_hat = v / correct2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, alias sampling, timing, validation."""
+
+from repro.utils.alias import AliasTable
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timers import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_non_negative,
+)
+
+__all__ = [
+    "AliasTable",
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "check_fraction",
+    "check_positive",
+    "check_non_negative",
+]

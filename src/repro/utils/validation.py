@@ -1,0 +1,28 @@
+"""Argument validation shared across the package.
+
+All validators raise ``ValueError`` with the offending name and value, so
+misconfiguration fails loudly at construction time rather than as a numerical
+surprise mid-training.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_fraction(name: str, value, inclusive: bool = False) -> None:
+    """Require ``value`` in ``(0, 1)`` (or ``[0, 1]`` when inclusive)."""
+    ok = 0.0 <= value <= 1.0 if inclusive else 0.0 < value < 1.0
+    if not ok:
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must lie in {bounds}, got {value!r}")

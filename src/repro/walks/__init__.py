@@ -1,0 +1,14 @@
+"""Random-walk engines: temporal (EHNA), node2vec, CTDNE, uniform."""
+
+from repro.walks.base import Walk
+from repro.walks.ctdne import CTDNEWalker
+from repro.walks.static import Node2VecWalker, UniformWalker
+from repro.walks.temporal import TemporalWalker
+
+__all__ = [
+    "Walk",
+    "TemporalWalker",
+    "Node2VecWalker",
+    "UniformWalker",
+    "CTDNEWalker",
+]

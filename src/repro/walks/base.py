@@ -1,0 +1,50 @@
+"""Walk record shared by all walk engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Walk:
+    """One random walk.
+
+    Attributes
+    ----------
+    nodes:
+        Visited node ids, in visit order (length ``L >= 1``).
+    edge_times:
+        Raw timestamps of the traversed edges (length ``L - 1``);
+        ``edge_times[i]`` is the time of the edge ``nodes[i] -> nodes[i+1]``.
+        Empty for static walks.
+    """
+
+    nodes: list[int]
+    edge_times: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) == 0:
+            raise ValueError("a walk must visit at least one node")
+        if self.edge_times and len(self.edge_times) != len(self.nodes) - 1:
+            raise ValueError("edge_times must have length len(nodes) - 1")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_time_sums(self, scale=None) -> np.ndarray:
+        """Per-position sum of timestamps of walk edges incident to that node.
+
+        This is the ``Σ_{(u,v) in r} t_(u,v)`` quantity of Eq. 3/4: each walk
+        edge contributes its timestamp to both endpoints, and repeat visits
+        accumulate (the paper's "interaction frequency").  ``scale`` maps raw
+        times onto ``[0, 1]`` (pass ``graph.scale_time``); static walks (no
+        edge times) return zeros.
+        """
+        sums = np.zeros(len(self.nodes), dtype=np.float64)
+        for i, t in enumerate(self.edge_times):
+            value = scale(t) if scale is not None else t
+            sums[i] += value
+            sums[i + 1] += value
+        return sums

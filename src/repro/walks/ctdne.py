@@ -1,0 +1,65 @@
+"""CTDNE's time-respecting walks (Nguyen et al. [12]).
+
+A walk begins at an edge chosen uniformly at random (the paper's experiments
+use uniform initial edge selection, Section V.C) and then only traverses
+edges with *strictly increasing* timestamps, so each walk is one-directional
+in time — the defining constraint of continuous-time dynamic network
+embedding.  (Strict increase also prevents degenerate bouncing on the edge
+just traversed, which non-strict ordering would allow on tied timestamps.)
+Node selection at each step is uniform over the valid continuations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+from repro.walks.base import Walk
+
+
+class CTDNEWalker:
+    """Uniform temporal walks that never move backwards in time."""
+
+    def __init__(self, graph: TemporalGraph):
+        self.graph = graph
+
+    def walk_from_edge(self, edge_id: int, length: int, rng=None) -> Walk:
+        """Extend a time-respecting walk forward from the given starting edge."""
+        check_positive("length", length)
+        rng = ensure_rng(rng)
+        graph = self.graph
+        u = int(graph.src[edge_id])
+        v = int(graph.dst[edge_id])
+        t = float(graph.time[edge_id])
+        # The edge is undirected: orient it uniformly.
+        if rng.random() < 0.5:
+            u, v = v, u
+        nodes = [u, v]
+        edge_times = [t]
+        while len(nodes) < length + 1:
+            nbrs, times, _eids = self.graph.incident(nodes[-1])
+            cut = np.searchsorted(times, t, side="right")
+            valid = nbrs[cut:]
+            valid_t = times[cut:]
+            if valid.size == 0:
+                break
+            pick = int(rng.integers(valid.size))
+            nodes.append(int(valid[pick]))
+            t = float(valid_t[pick])
+            edge_times.append(t)
+        return Walk(nodes=nodes, edge_times=edge_times)
+
+    def corpus(self, num_walks: int, length: int, rng=None) -> list[list[int]]:
+        """Sample ``num_walks`` walks from uniformly chosen initial edges."""
+        check_positive("num_walks", num_walks)
+        rng = ensure_rng(rng)
+        m = self.graph.num_edges
+        sentences: list[list[int]] = []
+        for _ in range(num_walks):
+            e = int(rng.integers(m))
+            w = self.walk_from_edge(e, length, rng)
+            if len(w) > 1:
+                sentences.append(w.nodes)
+        return sentences

@@ -1,0 +1,136 @@
+"""Static random walks: DeepWalk (uniform) and node2vec (2nd-order, Eq. of [1]).
+
+These power the NODE2VEC baseline and the EHNA-RW ablation (which swaps the
+temporal walk for a plain static walk).  The node2vec walker caches an alias
+table per traversed ``(prev, cur)`` state, so repeated visits sample in O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.alias import AliasTable
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+from repro.walks.base import Walk
+
+
+class UniformWalker:
+    """First-order uniform random walk over distinct static neighbors.
+
+    Also serves as EHNA's GraphSAGE-style fallback neighborhood sampler for
+    nodes without historical interactions (Section IV.D).
+    """
+
+    def __init__(self, graph: TemporalGraph):
+        self.graph = graph
+        self._nbrs = [graph.neighbors(v) for v in range(graph.num_nodes)]
+
+    def walk(self, start: int, length: int, rng=None) -> Walk:
+        """Sample one walk of at most ``length`` steps."""
+        check_positive("length", length)
+        rng = ensure_rng(rng)
+        nodes = [int(start)]
+        for _ in range(length):
+            nbrs = self._nbrs[nodes[-1]]
+            if nbrs.size == 0:
+                break
+            nodes.append(int(nbrs[rng.integers(nbrs.size)]))
+        return Walk(nodes=nodes)
+
+    def walks(self, start: int, num_walks: int, length: int, rng=None) -> list[Walk]:
+        """Sample ``num_walks`` independent walks from ``start``."""
+        rng = ensure_rng(rng)
+        return [self.walk(start, length, rng) for _ in range(num_walks)]
+
+
+class Node2VecWalker:
+    """Second-order biased walks of Grover & Leskovec [1].
+
+    Transition weight from state ``(prev -> cur)`` to neighbor ``w``::
+
+        1/p  if w == prev        (return)
+        1    if w ~ prev         (distance 1)
+        1/q  otherwise           (distance 2)
+
+    multiplied by the static edge weight (number of temporal events for a
+    multigraph, so repeat interactions count).
+    """
+
+    def __init__(self, graph: TemporalGraph, p: float = 1.0, q: float = 1.0):
+        check_positive("p", p)
+        check_positive("q", q)
+        self.graph = graph
+        self.p = p
+        self.q = q
+        # Distinct-neighbor adjacency with multiplicity as weight.
+        self._nbrs: list[np.ndarray] = []
+        self._w: list[np.ndarray] = []
+        for v in range(graph.num_nodes):
+            inc, _, _ = graph.incident(v)
+            nbrs, counts = np.unique(inc, return_counts=True)
+            self._nbrs.append(nbrs)
+            self._w.append(counts.astype(np.float64))
+        self._nbr_sets = [set(n.tolist()) for n in self._nbrs]
+        self._alias_cache: dict[tuple[int, int], AliasTable] = {}
+        self._first_alias: dict[int, AliasTable] = {}
+
+    def _first_step(self, cur: int, rng) -> int | None:
+        nbrs = self._nbrs[cur]
+        if nbrs.size == 0:
+            return None
+        table = self._first_alias.get(cur)
+        if table is None:
+            table = AliasTable(self._w[cur])
+            self._first_alias[cur] = table
+        return int(nbrs[table.sample(rng)])
+
+    def _next_step(self, prev: int, cur: int, rng) -> int | None:
+        nbrs = self._nbrs[cur]
+        if nbrs.size == 0:
+            return None
+        key = (prev, cur)
+        table = self._alias_cache.get(key)
+        if table is None:
+            bias = np.empty(nbrs.size, dtype=np.float64)
+            prev_nbrs = self._nbr_sets[prev]
+            for i, w in enumerate(nbrs):
+                if w == prev:
+                    bias[i] = 1.0 / self.p
+                elif int(w) in prev_nbrs:
+                    bias[i] = 1.0
+                else:
+                    bias[i] = 1.0 / self.q
+            table = AliasTable(bias * self._w[cur])
+            self._alias_cache[key] = table
+        return int(nbrs[table.sample(rng)])
+
+    def walk(self, start: int, length: int, rng=None) -> Walk:
+        """Sample one node2vec walk of at most ``length`` steps."""
+        check_positive("length", length)
+        rng = ensure_rng(rng)
+        nodes = [int(start)]
+        nxt = self._first_step(nodes[0], rng)
+        if nxt is None:
+            return Walk(nodes=nodes)
+        nodes.append(nxt)
+        while len(nodes) < length + 1:
+            nxt = self._next_step(nodes[-2], nodes[-1], rng)
+            if nxt is None:
+                break
+            nodes.append(nxt)
+        return Walk(nodes=nodes)
+
+    def corpus(self, num_walks: int, length: int, rng=None) -> list[list[int]]:
+        """``num_walks`` walks per node in shuffled order (the usual corpus)."""
+        rng = ensure_rng(rng)
+        sentences: list[list[int]] = []
+        order = np.arange(self.graph.num_nodes)
+        for _ in range(num_walks):
+            rng.shuffle(order)
+            for v in order:
+                w = self.walk(int(v), length, rng)
+                if len(w) > 1:
+                    sentences.append(w.nodes)
+        return sentences

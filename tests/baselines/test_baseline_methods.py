@@ -1,0 +1,117 @@
+"""Tests for the Node2Vec, DeepWalk, CTDNE, LINE and HTNE baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CTDNE, DeepWalk, HTNE, LINE, Node2Vec
+from repro.datasets import temporal_sbm
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return temporal_sbm(num_nodes=40, num_edges=250, seed=4)
+
+
+ALL_METHODS = [
+    lambda: Node2Vec(dim=8, num_walks=3, walk_length=8, epochs=1, seed=0),
+    lambda: DeepWalk(dim=8, num_walks=3, walk_length=8, epochs=1, seed=0),
+    lambda: CTDNE(dim=8, walks_per_node=3, walk_length=8, epochs=1, seed=0),
+    lambda: LINE(dim=8, samples_per_edge=5, seed=0),
+    lambda: HTNE(dim=8, epochs=2, seed=0),
+]
+
+
+class TestCommonProtocol:
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_fit_returns_self(self, factory, graph):
+        m = factory()
+        assert m.fit(graph) is m
+
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_embedding_shape(self, factory, graph):
+        emb = factory().fit(graph).embeddings()
+        assert emb.shape == (graph.num_nodes, 8)
+        assert np.all(np.isfinite(emb))
+
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_deterministic(self, factory, graph):
+        a = factory().fit(graph).embeddings()
+        b = factory().fit(graph).embeddings()
+        np.testing.assert_allclose(a, b)
+
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_embeddings_before_fit_raise(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().embeddings()
+
+    @pytest.mark.parametrize("factory", ALL_METHODS)
+    def test_embedding_of_accessor(self, factory, graph):
+        m = factory().fit(graph)
+        np.testing.assert_array_equal(m.embedding_of(3), m.embeddings()[3])
+
+
+class TestLINE:
+    def test_even_dim_required(self):
+        with pytest.raises(ValueError, match="even"):
+            LINE(dim=7)
+
+    def test_halves_concatenated(self, graph):
+        m = LINE(dim=8, samples_per_edge=2, seed=0).fit(graph)
+        emb = m.embeddings()
+        assert emb.shape[1] == 8
+
+    def test_more_samples_move_further(self, graph):
+        short = LINE(dim=8, samples_per_edge=1, seed=0).fit(graph).embeddings()
+        long = LINE(dim=8, samples_per_edge=30, seed=0).fit(graph).embeddings()
+        init_bound = 0.5 / 4
+        assert np.abs(long).max() > np.abs(short).max()
+        assert np.abs(long).max() > init_bound
+
+
+class TestHTNE:
+    def test_loss_decreases(self, graph):
+        m = HTNE(dim=8, epochs=5, seed=0).fit(graph)
+        assert m.loss_history[-1] < m.loss_history[0]
+
+    def test_decay_stays_positive(self, graph):
+        m = HTNE(dim=8, epochs=3, seed=0).fit(graph)
+        assert m.decay >= 1e-3
+
+    def test_history_padding(self, graph):
+        m = HTNE(dim=8, history_length=3, seed=0)
+        ex, ey, et, hid, ht, hmask = m._build_events(graph)
+        assert hid.shape == (2 * graph.num_edges, 3)
+        assert np.all((hmask == 0) | (hmask == 1))
+        # first chronological event of a node has empty history
+        assert hmask.sum(axis=1).min() == 0.0
+
+    def test_history_times_before_event(self, graph):
+        m = HTNE(dim=8, history_length=4, seed=0)
+        _, _, et, _, ht, hmask = m._build_events(graph)
+        assert np.all(ht * hmask <= et[:, None] + 1e-12)
+
+    def test_linked_closer_than_random(self):
+        g = temporal_sbm(num_nodes=30, num_edges=400, p_in=0.95, seed=8)
+        m = HTNE(dim=8, epochs=10, lr=0.03, seed=0).fit(g)
+        emb = m.embeddings()
+        rng = np.random.default_rng(0)
+        d_pos = np.mean([
+            np.sum((emb[u] - emb[v]) ** 2) for u, v, _ in g.edge_tuples()
+        ])
+        d_rand = []
+        while len(d_rand) < 300:
+            u, v = rng.integers(g.num_nodes, size=2)
+            if u != v and not g.has_edge(int(u), int(v)):
+                d_rand.append(np.sum((emb[u] - emb[v]) ** 2))
+        assert d_pos < np.mean(d_rand)
+
+
+class TestNode2VecConfig:
+    def test_deepwalk_forces_pq(self):
+        m = DeepWalk(dim=8)
+        assert m.p == 1.0 and m.q == 1.0
+
+    def test_biased_walks_change_embeddings(self, graph):
+        a = Node2Vec(dim=8, p=0.25, q=4.0, epochs=1, seed=0).fit(graph).embeddings()
+        b = Node2Vec(dim=8, p=4.0, q=0.25, epochs=1, seed=0).fit(graph).embeddings()
+        assert not np.allclose(a, b)

@@ -1,0 +1,108 @@
+"""Tests for the SGNS engine."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SkipGramNS, degree_noise_weights, sentences_to_pairs
+
+
+class TestPairGeneration:
+    def test_window_one(self):
+        pairs = sentences_to_pairs([[0, 1, 2]], window=1, rng=np.random.default_rng(0))
+        as_set = {tuple(p) for p in pairs.tolist()}
+        assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_window_spans(self):
+        pairs = sentences_to_pairs([[0, 1, 2]], window=2, rng=np.random.default_rng(0))
+        assert (pairs.tolist().count([0, 2])) == 1
+
+    def test_no_self_pairs(self):
+        pairs = sentences_to_pairs([[3, 3, 3]], window=2, rng=np.random.default_rng(0))
+        # repeated node ids are allowed (they are distinct positions)
+        assert pairs.shape[1] == 2
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            sentences_to_pairs([[5]], window=2)
+
+    def test_shuffled(self):
+        sentences = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        a = sentences_to_pairs(sentences, 1, rng=np.random.default_rng(1))
+        b = sentences_to_pairs(sentences, 1, rng=np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+
+class TestSkipGram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SkipGramNS(0, dim=4)
+        with pytest.raises(ValueError):
+            SkipGramNS(5, dim=4, noise_weights=np.ones(3))
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        # two cliques {0..4} and {5..9}: co-occurrence within cliques
+        sentences = []
+        for _ in range(60):
+            block = list(rng.permutation(5)) if rng.random() < 0.5 else [
+                5 + v for v in rng.permutation(5)
+            ]
+            sentences.append([int(v) for v in block])
+        model = SkipGramNS(10, dim=8, seed=1)
+        losses = model.train_corpus(sentences, window=2, epochs=5)
+        assert losses[-1] < losses[0]
+
+    def test_cluster_structure_learned(self):
+        rng = np.random.default_rng(0)
+        sentences = []
+        for _ in range(150):
+            base = 0 if rng.random() < 0.5 else 5
+            sentences.append([base + int(v) for v in rng.permutation(5)])
+        model = SkipGramNS(10, dim=8, lr=0.05, seed=1)
+        model.train_corpus(sentences, window=3, epochs=8)
+        emb = model.embeddings()
+        emb = emb / np.linalg.norm(emb, axis=1, keepdims=True)
+        within = np.mean([emb[i] @ emb[j] for i in range(5) for j in range(5) if i != j])
+        across = np.mean([emb[i] @ emb[j + 5] for i in range(5) for j in range(5)])
+        assert within > across
+
+    def test_embeddings_shape_copy(self):
+        model = SkipGramNS(7, dim=3, seed=0)
+        emb = model.embeddings()
+        assert emb.shape == (7, 3)
+        emb[0, 0] = 99.0
+        assert model.embeddings()[0, 0] != 99.0
+
+    def test_duplicate_indices_in_batch_accumulate(self):
+        """np.add.at semantics: a pair repeated in a batch applies N times.
+
+        At initialization ``w_out`` is zero, so the center update is zero but
+        the context update is ``-lr * (σ(0) - 1) * v`` per occurrence — a
+        4-fold repeat must move the context vector exactly 4x as far (modulo
+        negative draws colliding with the context id, ruled out here).
+        """
+        pairs = np.array([[0, 1], [0, 1], [0, 1], [0, 1]])
+        # Noise weights exclude the context id so negatives never touch it.
+        noise = np.array([1.0, 0.0, 1.0, 1.0])
+        model4 = SkipGramNS(4, dim=4, num_negatives=1, lr=0.1, seed=0,
+                            noise_weights=noise)
+        v0 = model4.w_in[0].copy()
+        model4.train_pairs(pairs, batch_size=4)
+        moved4 = model4.w_out[1].copy()
+        model1 = SkipGramNS(4, dim=4, num_negatives=1, lr=0.1, seed=0,
+                            noise_weights=noise)
+        model1.train_pairs(pairs[:1], batch_size=1)
+        moved1 = model1.w_out[1].copy()
+        # positive-context contribution is deterministic: -lr * (-0.5) * v0
+        np.testing.assert_allclose(moved1, 0.05 * v0, atol=1e-12)
+        np.testing.assert_allclose(moved4, 4 * moved1, atol=1e-12)
+
+
+class TestNoiseWeights:
+    def test_degree_power(self):
+        out = degree_noise_weights(np.array([1, 16]), power=0.75)
+        np.testing.assert_allclose(out, [1.0, 8.0])
+
+    def test_zero_power_uniform(self):
+        out = degree_noise_weights(np.array([3, 9]), power=0.0)
+        np.testing.assert_allclose(out, [1.0, 1.0])

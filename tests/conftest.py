@@ -1,0 +1,62 @@
+"""Shared fixtures: small deterministic graphs used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import temporal_sbm, tmall_like
+from repro.graph import TemporalGraph
+
+
+@pytest.fixture
+def tiny_graph() -> TemporalGraph:
+    """The paper's Figure 1 co-author example (nodes 1-8 -> ids 0-7).
+
+    Edges annotated with years; node 0 is the ego (paper's node 1).
+    """
+    edges = [
+        (0, 1, 2011.0),  # 1-2
+        (0, 2, 2011.1),  # 1-3 (slightly later for deterministic order)
+        (1, 2, 2012.0),  # 2-3
+        (0, 3, 2013.0),  # 1-4
+        (3, 4, 2014.0),  # 4-5
+        (0, 5, 2015.0),  # 1-6
+        (4, 5, 2016.0),  # 5-6
+        (4, 7, 2016.1),  # 5-8
+        (6, 7, 2017.0),  # 7-8
+        (5, 6, 2017.1),  # 6-7
+        (0, 6, 2018.0),  # 1-7
+    ]
+    src, dst, t = zip(*edges)
+    return TemporalGraph.from_edges(
+        np.array(src), np.array(dst), np.array(t)
+    )
+
+
+@pytest.fixture
+def path_graph() -> TemporalGraph:
+    """Path 0-1-2-3-4 with strictly increasing times 1..4."""
+    return TemporalGraph.from_edges(
+        np.array([0, 1, 2, 3]),
+        np.array([1, 2, 3, 4]),
+        np.array([1.0, 2.0, 3.0, 4.0]),
+    )
+
+
+@pytest.fixture
+def sbm_graph() -> TemporalGraph:
+    """Small community-structured temporal graph."""
+    return temporal_sbm(num_nodes=40, num_edges=240, num_communities=4, seed=7)
+
+
+@pytest.fixture
+def bipartite_graph() -> TemporalGraph:
+    """Small bipartite purchase graph (Tmall-like)."""
+    return tmall_like(num_users=25, num_items=12, num_purchases=200, seed=3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for stochastic tests."""
+    return np.random.default_rng(12345)

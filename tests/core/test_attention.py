@@ -1,0 +1,131 @@
+"""Tests for the node-level (Eq. 3) and walk-level (Eq. 4) attention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.attention import (
+    inverse_time_sums,
+    masked_softmax,
+    node_attention,
+    uniform_attention,
+    walk_attention,
+    walk_factors,
+)
+from repro.nn import Tensor
+
+
+class TestMaskedSoftmax:
+    def test_masks_get_zero_weight(self):
+        logits = Tensor(np.zeros((1, 4)))
+        valid = np.array([[1.0, 1.0, 0.0, 0.0]])
+        out = masked_softmax(logits, valid, axis=1).data
+        np.testing.assert_allclose(out, [[0.5, 0.5, 0.0, 0.0]], atol=1e-12)
+
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(5, 6)))
+        valid = (rng.random((5, 6)) < 0.7).astype(float)
+        valid[:, 0] = 1.0  # at least one valid per row
+        out = masked_softmax(logits, valid, axis=1).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5))
+
+
+class TestInverseTimeSums:
+    def test_clamps_small_values(self):
+        out = inverse_time_sums(np.array([0.0, 0.5]), eps=0.01)
+        np.testing.assert_allclose(out, [100.0, 2.0])
+
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            inverse_time_sums(np.array([1.0]), eps=0.0)
+
+
+class TestNodeAttention:
+    def _alpha(self, dist, sums, valid, eps=1e-2):
+        return node_attention(Tensor(dist), sums, valid, eps).data
+
+    def test_simplex(self):
+        rng = np.random.default_rng(1)
+        dist = np.abs(rng.normal(size=(3, 5)))
+        sums = rng.random((3, 5))
+        valid = np.ones((3, 5))
+        a = self._alpha(dist, sums, valid)
+        assert np.all(a >= 0)
+        np.testing.assert_allclose(a.sum(axis=1), np.ones(3))
+
+    def test_recent_node_gets_more_attention(self):
+        """Same distance, larger time-sum (more recent/frequent) -> larger α."""
+        dist = np.array([[1.0, 1.0]])
+        sums = np.array([[1.0, 0.1]])
+        a = self._alpha(dist, sums, np.ones((1, 2)))
+        assert a[0, 0] > a[0, 1]
+
+    def test_closer_node_gets_more_attention(self):
+        dist = np.array([[0.1, 2.0]])
+        sums = np.array([[0.5, 0.5]])
+        a = self._alpha(dist, sums, np.ones((1, 2)))
+        assert a[0, 0] > a[0, 1]
+
+    def test_padding_excluded(self):
+        dist = np.array([[1.0, 1.0, 1.0]])
+        sums = np.ones((1, 3))
+        valid = np.array([[1.0, 1.0, 0.0]])
+        a = self._alpha(dist, sums, valid)
+        assert a[0, 2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_gradients_flow_to_distances(self):
+        dist = Tensor(np.array([[0.5, 1.5]]), requires_grad=True)
+        a = node_attention(dist, np.ones((1, 2)), np.ones((1, 2)), 1e-2)
+        (a * a).sum().backward()
+        assert dist.grad is not None
+        assert np.any(dist.grad != 0)
+
+
+class TestWalkFactors:
+    def test_formula(self):
+        """(1/|r|) Σ 1/Σt on a hand example."""
+        sums = np.array([[1.0, 0.5, 0.0]])
+        valid = np.array([[1.0, 1.0, 0.0]])
+        out = walk_factors(sums, valid, eps=0.01)
+        np.testing.assert_allclose(out, [(1.0 + 2.0) / 2.0])
+
+    def test_all_padded_row_safe(self):
+        out = walk_factors(np.zeros((1, 3)), np.zeros((1, 3)), eps=0.01)
+        assert np.isfinite(out).all()
+
+
+class TestWalkAttention:
+    def test_simplex(self):
+        rng = np.random.default_rng(2)
+        dist = Tensor(np.abs(rng.normal(size=(4, 3))))
+        factors = rng.random((4, 3)) + 0.1
+        b = walk_attention(dist, factors).data
+        np.testing.assert_allclose(b.sum(axis=1), np.ones(4))
+
+    def test_recent_walk_preferred(self):
+        """Lower factor (more recent interactions) -> higher β at equal dist."""
+        dist = Tensor(np.array([[1.0, 1.0]]))
+        factors = np.array([[0.5, 5.0]])
+        b = walk_attention(dist, factors).data
+        assert b[0, 0] > b[0, 1]
+
+
+class TestUniformAttention:
+    def test_matches_mask(self):
+        valid = np.array([[1.0, 0.0], [1.0, 1.0]])
+        np.testing.assert_array_equal(uniform_attention(valid), valid)
+
+
+@given(
+    arrays(np.float64, (2, 4), elements=st.floats(min_value=0, max_value=5)),
+    arrays(np.float64, (2, 4), elements=st.floats(min_value=0, max_value=1)),
+)
+@settings(max_examples=50, deadline=None)
+def test_node_attention_always_simplex(dist, sums):
+    valid = np.ones((2, 4))
+    a = node_attention(Tensor(dist), sums, valid, 1e-2).data
+    assert np.all(a >= -1e-12)
+    np.testing.assert_allclose(a.sum(axis=1), np.ones(2), atol=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the EHNA model and its trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import EHNA, EHNAConfig, ehna_na, ehna_rw, ehna_sl
+from repro.datasets import temporal_sbm
+
+
+FAST = dict(dim=8, epochs=1, batch_size=32, num_walks=2, walk_length=3,
+            num_negatives=2)
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return temporal_sbm(num_nodes=30, num_edges=120, seed=11)
+
+
+@pytest.fixture(scope="module")
+def fitted(small_graph):
+    return EHNA(seed=0, **FAST).fit(small_graph)
+
+
+class TestConstruction:
+    def test_overrides_applied(self):
+        model = EHNA(dim=16, margin=2.0)
+        assert model.config.dim == 16
+        assert model.config.margin == 2.0
+
+    def test_config_object_plus_overrides(self):
+        cfg = EHNAConfig(dim=16)
+        model = EHNA(config=cfg, epochs=7)
+        assert model.config.dim == 16
+        assert model.config.epochs == 7
+
+    def test_invalid_config_rejected_eagerly(self):
+        with pytest.raises(ValueError):
+            EHNA(dim=0)
+
+    def test_embeddings_before_fit_raise(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            EHNA(**FAST).embeddings()
+
+
+class TestTraining:
+    def test_embedding_shape_and_norm(self, fitted, small_graph):
+        emb = fitted.embeddings()
+        assert emb.shape == (small_graph.num_nodes, FAST["dim"])
+        np.testing.assert_allclose(
+            np.linalg.norm(emb, axis=1), np.ones(small_graph.num_nodes), atol=1e-6
+        )
+
+    def test_loss_history_recorded(self, fitted):
+        assert len(fitted.loss_history) == FAST["epochs"]
+        assert all(np.isfinite(l) for l in fitted.loss_history)
+
+    def test_loss_decreases_over_epochs(self, small_graph):
+        model = EHNA(seed=3, **{**FAST, "epochs": 4}).fit(small_graph)
+        assert model.loss_history[-1] < model.loss_history[0]
+
+    def test_deterministic_given_seed(self, small_graph):
+        a = EHNA(seed=5, **FAST).fit(small_graph).embeddings()
+        b = EHNA(seed=5, **FAST).fit(small_graph).embeddings()
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self, small_graph):
+        a = EHNA(seed=1, **FAST).fit(small_graph).embeddings()
+        b = EHNA(seed=2, **FAST).fit(small_graph).embeddings()
+        assert not np.allclose(a, b)
+
+    def test_embeddings_finite(self, fitted):
+        assert np.all(np.isfinite(fitted.embeddings()))
+
+    def test_handles_isolated_nodes(self):
+        """Nodes with no edges must still receive (fallback) embeddings."""
+        from repro.graph import TemporalGraph
+
+        g = TemporalGraph.from_edges(
+            np.array([0, 1, 2]), np.array([1, 2, 0]),
+            np.array([1.0, 2.0, 3.0]), num_nodes=6,
+        )
+        emb = EHNA(seed=0, **FAST).fit(g).embeddings()
+        assert emb.shape == (6, FAST["dim"])
+        assert np.all(np.isfinite(emb))
+
+    def test_unidirectional_mode(self, small_graph):
+        model = EHNA(seed=0, bidirectional=False, **FAST).fit(small_graph)
+        assert np.all(np.isfinite(model.embeddings()))
+
+    def test_linked_nodes_closer_than_random(self, small_graph):
+        """After training, mean distance over edges should be below the mean
+        distance over random non-adjacent pairs (the Eq. 7 objective)."""
+        model = EHNA(seed=4, dim=8, epochs=4, batch_size=32, num_walks=3,
+                     walk_length=4, num_negatives=3).fit(small_graph)
+        emb = model.embeddings()
+        rng = np.random.default_rng(0)
+        d_pos = np.mean([
+            np.sum((emb[u] - emb[v]) ** 2)
+            for u, v, _ in small_graph.edge_tuples()
+        ])
+        d_rand = []
+        while len(d_rand) < 200:
+            u, v = rng.integers(small_graph.num_nodes, size=2)
+            if u != v and not small_graph.has_edge(int(u), int(v)):
+                d_rand.append(np.sum((emb[u] - emb[v]) ** 2))
+        assert d_pos < np.mean(d_rand)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("factory,name", [
+        (ehna_na, "EHNA-NA"),
+        (ehna_rw, "EHNA-RW"),
+        (ehna_sl, "EHNA-SL"),
+    ])
+    def test_variants_train(self, factory, name, small_graph):
+        model = factory(seed=0, **FAST if name != "EHNA-SL" else
+                        {**FAST, "lstm_layers": 1})
+        assert model.name == name
+        emb = model.fit(small_graph).embeddings()
+        assert np.all(np.isfinite(emb))
+
+    def test_na_disables_attention(self):
+        assert ehna_na(**FAST).config.use_attention is False
+
+    def test_rw_uses_static_walks(self):
+        cfg = ehna_rw(**FAST).config
+        assert cfg.temporal_walks is False
+        assert cfg.use_attention is False
+
+    def test_sl_single_level(self):
+        cfg = ehna_sl(**{**FAST, "lstm_layers": 1}).config
+        assert cfg.two_level is False
+        assert cfg.lstm_layers == 1
+
+    def test_sl_factory_sets_layers_itself(self):
+        cfg = ehna_sl(dim=8).config
+        assert cfg.lstm_layers == 1

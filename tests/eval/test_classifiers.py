@@ -1,0 +1,73 @@
+"""Tests for the logistic-regression classifier."""
+
+import numpy as np
+import pytest
+
+from repro.eval import LogisticRegression
+
+
+def separable_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + 2 * x[:, 1] > 0).astype(int)
+    return x, y
+
+
+class TestFit:
+    def test_separable_accuracy(self):
+        x, y = separable_data()
+        clf = LogisticRegression(c=10.0).fit(x, y)
+        acc = np.mean(clf.predict(x) == y)
+        assert acc > 0.97
+
+    def test_probabilities_in_range(self):
+        x, y = separable_data()
+        p = LogisticRegression().fit(x, y).predict_proba(x)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_decision_consistent_with_predict(self):
+        x, y = separable_data()
+        clf = LogisticRegression().fit(x, y)
+        np.testing.assert_array_equal(
+            clf.predict(x), (clf.decision_function(x) >= 0).astype(int)
+        )
+
+    def test_regularization_shrinks_weights(self):
+        x, y = separable_data()
+        loose = LogisticRegression(c=100.0).fit(x, y)
+        tight = LogisticRegression(c=0.01).fit(x, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_standardization_handles_scaled_features(self):
+        x, y = separable_data()
+        x_scaled = x * np.array([1e6, 1e-6])
+        clf = LogisticRegression().fit(x_scaled, y)
+        assert np.mean(clf.predict(x_scaled) == y) > 0.95
+
+    def test_constant_feature_no_crash(self):
+        x, y = separable_data()
+        x = np.hstack([x, np.ones((x.shape[0], 1))])
+        LogisticRegression().fit(x, y)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((3, 2)), [1, 0])
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((2, 2)), [1, 2])
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.ones((1, 2)))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(c=0.0)
+
+    def test_matches_closed_form_direction(self):
+        """On symmetric data the weight vector should align with the true
+        separating direction (1, 2)/norm."""
+        x, y = separable_data(n=2000, seed=3)
+        clf = LogisticRegression(c=10.0, standardize=False).fit(x, y)
+        w = clf.weights / np.linalg.norm(clf.weights)
+        target = np.array([1.0, 2.0]) / np.sqrt(5.0)
+        assert abs(w @ target) > 0.99

@@ -1,0 +1,134 @@
+"""Tests for the link-prediction pipeline (Section V.E protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    evaluate_all_operators,
+    evaluate_operator,
+    holdout_pairs,
+    prepare_link_prediction,
+    sample_negative_pairs,
+)
+from repro.datasets import temporal_sbm
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return temporal_sbm(num_nodes=50, num_edges=500, seed=6)
+
+
+class TestHoldout:
+    def test_most_recent_removed(self, graph):
+        train, pos = holdout_pairs(graph, 0.2)
+        assert train.num_edges == graph.num_edges - round(graph.num_edges * 0.2)
+
+    def test_positives_are_novel(self, graph):
+        train, pos = holdout_pairs(graph, 0.2)
+        for u, v in pos:
+            assert not train.has_edge(int(u), int(v))
+            assert graph.has_edge(int(u), int(v))
+
+    def test_positives_deduplicated(self, graph):
+        _, pos = holdout_pairs(graph, 0.2)
+        assert np.unique(pos, axis=0).shape[0] == pos.shape[0]
+
+    def test_pairs_canonical_order(self, graph):
+        _, pos = holdout_pairs(graph, 0.2)
+        assert np.all(pos[:, 0] < pos[:, 1])
+
+
+class TestNegativeSampling:
+    def test_count_and_no_edges(self, graph):
+        negs = sample_negative_pairs(graph, 40, rng=np.random.default_rng(0))
+        assert negs.shape == (40, 2)
+        for u, v in negs:
+            assert not graph.has_edge(int(u), int(v))
+            assert u != v
+
+    def test_unique(self, graph):
+        negs = sample_negative_pairs(graph, 60, rng=np.random.default_rng(1))
+        assert np.unique(negs, axis=0).shape[0] == 60
+
+    def test_deterministic(self, graph):
+        a = sample_negative_pairs(graph, 20, rng=np.random.default_rng(5))
+        b = sample_negative_pairs(graph, 20, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_dense_graph_fails_loudly(self):
+        from repro.graph import TemporalGraph
+
+        # complete graph on 4 nodes: no negatives exist
+        src, dst = zip(*[(i, j) for i in range(4) for j in range(i + 1, 4)])
+        g = TemporalGraph.from_edges(
+            np.array(src), np.array(dst), np.arange(6, dtype=float)
+        )
+        with pytest.raises(RuntimeError, match="negative pairs"):
+            sample_negative_pairs(g, 10, rng=np.random.default_rng(0), max_tries=3)
+
+
+class TestPrepare:
+    def test_balanced_classes(self, graph):
+        data = prepare_link_prediction(graph, rng=np.random.default_rng(0))
+        assert data.positive_pairs.shape == data.negative_pairs.shape
+
+    def test_train_graph_precedes_positives(self, graph):
+        data = prepare_link_prediction(graph, rng=np.random.default_rng(0))
+        assert data.train_graph.num_edges < graph.num_edges
+
+
+class TestEvaluate:
+    def test_informative_embeddings_beat_random(self):
+        # Strong communities so held-out future links are predictable from
+        # training-graph structure.
+        graph = temporal_sbm(num_nodes=40, num_edges=600, p_in=0.95, seed=21)
+        data = prepare_link_prediction(graph, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        # Oracle embeddings: each node's (1-hop + 2-hop) adjacency profile on
+        # the training graph.  Community members share profiles, and future
+        # links are intra-community, so Weighted-L2 is highly predictive.
+        n = graph.num_nodes
+        adj = np.zeros((n, n))
+        for u, v, _t in data.train_graph.edge_tuples():
+            adj[u, v] += 1.0
+            adj[v, u] += 1.0
+        profile = adj + 0.5 * (adj @ adj)
+        norms = np.maximum(np.linalg.norm(profile, axis=1, keepdims=True), 1e-9)
+        oracle_emb = profile / norms
+        oracle = evaluate_operator(oracle_emb, data, "Weighted-L2", repeats=3, rng=rng)
+        random_emb = rng.normal(size=(n, n))
+        noise = evaluate_operator(random_emb, data, "Weighted-L2", repeats=3, rng=rng)
+        # Note: "random" node embeddings are not fully uninformative here —
+        # hub identity leaks through the pair-level train/test split (each
+        # node keeps its random signature across pairs), which is inherent to
+        # the paper's protocol.  Structure must still add real margin on top.
+        assert oracle["auc"] > noise["auc"] + 0.04
+        assert oracle["auc"] > 0.72
+
+    def test_all_metrics_in_range(self, graph):
+        data = prepare_link_prediction(graph, rng=np.random.default_rng(0))
+        emb = np.random.default_rng(2).normal(size=(graph.num_nodes, 6))
+        out = evaluate_operator(emb, data, "Hadamard", repeats=2, rng=np.random.default_rng(3))
+        for k in ("auc", "f1", "precision", "recall"):
+            assert 0.0 <= out[k] <= 1.0
+
+    def test_all_operators_evaluated(self, graph):
+        data = prepare_link_prediction(graph, rng=np.random.default_rng(0))
+        emb = np.random.default_rng(2).normal(size=(graph.num_nodes, 6))
+        out = evaluate_all_operators(emb, data, repeats=1, rng=np.random.default_rng(0))
+        assert set(out) == {"Mean", "Hadamard", "Weighted-L1", "Weighted-L2"}
+
+    def test_repeats_deterministic_with_rng(self, graph):
+        data = prepare_link_prediction(graph, rng=np.random.default_rng(0))
+        emb = np.random.default_rng(2).normal(size=(graph.num_nodes, 6))
+        a = evaluate_operator(emb, data, "Mean", repeats=2, rng=np.random.default_rng(9))
+        b = evaluate_operator(emb, data, "Mean", repeats=2, rng=np.random.default_rng(9))
+        assert a == b
+
+    def test_validation(self, graph):
+        data = prepare_link_prediction(graph, rng=np.random.default_rng(0))
+        emb = np.ones((graph.num_nodes, 4))
+        with pytest.raises(ValueError):
+            evaluate_operator(emb, data, "Mean", train_ratio=1.5)
+        with pytest.raises(ValueError):
+            evaluate_operator(emb, data, "Mean", repeats=0)

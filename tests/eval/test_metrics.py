@@ -1,0 +1,90 @@
+"""Tests for AUC, binary metrics and error reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import auc_score, binary_metrics, error_reduction
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9]) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(2, size=4000)
+        s = rng.random(4000)
+        assert auc_score(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_averaged(self):
+        assert auc_score([0, 1], [0.5, 0.5]) == 0.5
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            auc_score([1, 1], [0.1, 0.2])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            auc_score([0, 1], [0.5])
+
+    def test_monotone_transform_invariant(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(2, size=200)
+        y[:2] = [0, 1]
+        s = rng.normal(size=200)
+        assert auc_score(y, s) == pytest.approx(auc_score(y, np.exp(s)), abs=1e-12)
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        m = binary_metrics([1, 0, 1], [1, 0, 1])
+        assert m["precision"] == m["recall"] == m["f1"] == m["accuracy"] == 1.0
+
+    def test_half_precision(self):
+        m = binary_metrics([1, 0], [1, 1])
+        assert m["precision"] == 0.5
+        assert m["recall"] == 1.0
+        assert m["f1"] == pytest.approx(2 / 3)
+
+    def test_no_predicted_positives(self):
+        m = binary_metrics([1, 0], [0, 0])
+        assert m["precision"] == 0.0
+        assert m["recall"] == 0.0
+        assert m["f1"] == 0.0
+        assert m["accuracy"] == 0.5
+
+    def test_f1_harmonic_mean(self):
+        m = binary_metrics([1, 1, 0, 0], [1, 0, 1, 0])
+        p, r = m["precision"], m["recall"]
+        assert m["f1"] == pytest.approx(2 * p * r / (p + r))
+
+
+class TestErrorReduction:
+    def test_paper_formula(self):
+        # them = 0.8, us = 0.9: (1-0.8)-(1-0.9) / (1-0.8) = 0.5
+        assert error_reduction(0.8, 0.9) == pytest.approx(0.5)
+
+    def test_negative_when_worse(self):
+        assert error_reduction(0.9, 0.8) < 0
+
+    def test_perfect_baseline(self):
+        assert error_reduction(1.0, 0.95) == 0.0
+
+    @given(
+        st.floats(min_value=0.01, max_value=0.99),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sign_matches_comparison(self, them, us):
+        er = error_reduction(them, us)
+        if us > them:
+            assert er > 0
+        elif us < them:
+            assert er < 0
+        else:
+            assert er == 0

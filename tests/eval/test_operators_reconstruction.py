@@ -1,0 +1,117 @@
+"""Tests for Table II operators and network reconstruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.eval import OPERATORS, edge_features, reconstruction_precision
+from repro.graph import TemporalGraph
+
+
+class TestOperators:
+    ex = np.array([1.0, -2.0])
+    ey = np.array([3.0, 2.0])
+
+    def test_mean(self):
+        np.testing.assert_allclose(OPERATORS["Mean"](self.ex, self.ey), [2.0, 0.0])
+
+    def test_hadamard(self):
+        np.testing.assert_allclose(
+            OPERATORS["Hadamard"](self.ex, self.ey), [3.0, -4.0]
+        )
+
+    def test_weighted_l1(self):
+        np.testing.assert_allclose(
+            OPERATORS["Weighted-L1"](self.ex, self.ey), [2.0, 4.0]
+        )
+
+    def test_weighted_l2(self):
+        np.testing.assert_allclose(
+            OPERATORS["Weighted-L2"](self.ex, self.ey), [4.0, 16.0]
+        )
+
+    def test_table_order(self):
+        assert list(OPERATORS) == ["Mean", "Hadamard", "Weighted-L1", "Weighted-L2"]
+
+    def test_edge_features_by_name(self):
+        emb = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        pairs = np.array([[0, 1], [1, 2]])
+        out = edge_features(emb, pairs, "Mean")
+        np.testing.assert_allclose(out, [[0.5, 0.5], [0.5, 1.0]])
+
+    def test_unknown_operator(self):
+        with pytest.raises(KeyError, match="unknown operator"):
+            edge_features(np.ones((2, 2)), np.array([[0, 1]]), "Cosine")
+
+    def test_pairs_shape_validation(self):
+        with pytest.raises(ValueError):
+            edge_features(np.ones((2, 2)), np.array([0, 1]), "Mean")
+
+    @given(
+        arrays(np.float64, (4,), elements=st.floats(-5, 5)),
+        arrays(np.float64, (4,), elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        """All Table II operators are symmetric in their arguments."""
+        for op in OPERATORS.values():
+            np.testing.assert_allclose(op(a, b), op(b, a), atol=1e-12)
+
+
+class TestReconstruction:
+    def two_cluster_graph(self):
+        src = np.array([0, 0, 1, 3, 3, 4])
+        dst = np.array([1, 2, 2, 4, 5, 5])
+        return TemporalGraph.from_edges(src, dst, np.arange(6, dtype=float))
+
+    def perfect_embeddings(self):
+        """Cluster {0,1,2} and {3,4,5} on opposite poles: dot product ranks
+        all intra-cluster pairs (the true edges) first."""
+        emb = np.zeros((6, 2))
+        emb[:3] = [1.0, 0.0]
+        emb[3:] = [-1.0, 0.0]
+        emb += np.random.default_rng(0).normal(scale=1e-3, size=emb.shape)
+        return emb
+
+    def test_perfect_embeddings_high_precision(self):
+        g = self.two_cluster_graph()
+        out = reconstruction_precision(self.perfect_embeddings(), g, ps=[6])
+        assert out[6] == 1.0
+
+    def test_precision_monotone_tail(self):
+        """Precision@all-pairs equals edge density of the pair universe."""
+        g = self.two_cluster_graph()
+        total_pairs = 6 * 5 // 2
+        out = reconstruction_precision(self.perfect_embeddings(), g, ps=[total_pairs])
+        assert out[total_pairs] == pytest.approx(6 / total_pairs)
+
+    def test_random_embeddings_near_density(self):
+        g = self.two_cluster_graph()
+        rng = np.random.default_rng(1)
+        emb = rng.normal(size=(6, 4))
+        out = reconstruction_precision(emb, g, ps=[15], repeats=5, rng=rng)
+        assert out[15] == pytest.approx(6 / 15, abs=1e-9)
+
+    def test_p_larger_than_pairs_clipped(self):
+        g = self.two_cluster_graph()
+        out = reconstruction_precision(self.perfect_embeddings(), g, ps=[10_000])
+        assert 0.0 < out[10_000] <= 1.0
+
+    def test_sampling_subset(self, sbm_graph):
+        rng = np.random.default_rng(0)
+        emb = rng.normal(size=(sbm_graph.num_nodes, 8))
+        out = reconstruction_precision(
+            emb, sbm_graph, ps=[50], sample_size=20, repeats=3, rng=rng
+        )
+        assert 0.0 <= out[50] <= 1.0
+
+    def test_validation(self, sbm_graph):
+        emb = np.ones((3, 2))
+        with pytest.raises(ValueError, match="every node"):
+            reconstruction_precision(emb, sbm_graph, ps=[10])
+        with pytest.raises(ValueError):
+            reconstruction_precision(
+                np.ones((sbm_graph.num_nodes, 2)), sbm_graph, ps=[0]
+            )

@@ -1,0 +1,99 @@
+"""Property-based tests of TemporalGraph invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import TemporalGraph
+
+
+@st.composite
+def edge_lists(draw, max_nodes=12, max_edges=40):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=1, max_value=max_edges))
+    src, dst, time = [], [], []
+    for _ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            v = (v + 1) % n
+        src.append(u)
+        dst.append(v)
+        time.append(draw(st.floats(min_value=0, max_value=1000, allow_nan=False)))
+    return np.array(src), np.array(dst), np.array(time), n
+
+
+@given(edge_lists())
+@settings(max_examples=80, deadline=None)
+def test_time_sorted_globally(data):
+    src, dst, t, n = data
+    g = TemporalGraph.from_edges(src, dst, t, num_nodes=n)
+    assert np.all(np.diff(g.time) >= 0)
+
+
+@given(edge_lists())
+@settings(max_examples=80, deadline=None)
+def test_per_node_incidence_time_sorted(data):
+    src, dst, t, n = data
+    g = TemporalGraph.from_edges(src, dst, t, num_nodes=n)
+    for v in range(n):
+        _, times, _ = g.incident(v)
+        assert np.all(np.diff(times) >= 0)
+
+
+@given(edge_lists())
+@settings(max_examples=80, deadline=None)
+def test_degree_handshake(data):
+    src, dst, t, n = data
+    g = TemporalGraph.from_edges(src, dst, t, num_nodes=n)
+    assert g.degrees().sum() == 2 * g.num_edges
+
+
+@given(edge_lists(), st.floats(min_value=0, max_value=1000))
+@settings(max_examples=80, deadline=None)
+def test_events_before_is_prefix_filter(data, cut):
+    """events_before(v, t) returns exactly the incident events with time <= t."""
+    src, dst, t, n = data
+    g = TemporalGraph.from_edges(src, dst, t, num_nodes=n)
+    for v in range(n):
+        nbrs_all, times_all, _ = g.incident(v)
+        nbrs, times, _ = g.events_before(v, cut, inclusive=True)
+        expected = times_all <= cut
+        assert times.size == int(expected.sum())
+        np.testing.assert_array_equal(nbrs, nbrs_all[expected])
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_snapshot_plus_future_partitions_edges(data):
+    src, dst, t, n = data
+    g = TemporalGraph.from_edges(src, dst, t, num_nodes=n)
+    median = float(np.median(g.time))
+    until = g.edges_until(median, inclusive=True)
+    assert until.size == int(np.sum(g.time <= median))
+
+
+@given(edge_lists(), st.floats(min_value=0.1, max_value=0.9))
+@settings(max_examples=60, deadline=None)
+def test_split_recent_partition(data, frac):
+    src, dst, t, n = data
+    g = TemporalGraph.from_edges(src, dst, t, num_nodes=n)
+    if g.num_edges < 2:
+        return
+    train, held = g.split_recent(frac)
+    assert train.num_edges + held.size == g.num_edges
+    # Held edges are the most recent block.
+    if held.size and train.num_edges:
+        assert g.time[held].min() >= train.time.max()
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_times01_is_affine_monotone(data):
+    src, dst, t, n = data
+    g = TemporalGraph.from_edges(src, dst, t, num_nodes=n)
+    t01 = g.times01()
+    assert t01.min() >= 0.0 and t01.max() <= 1.0
+    order_raw = np.argsort(g.time, kind="stable")
+    order_01 = np.argsort(t01, kind="stable")
+    np.testing.assert_array_equal(order_raw, order_01)

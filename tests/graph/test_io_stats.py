@@ -1,0 +1,100 @@
+"""Tests for edge-list IO and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    TemporalGraph,
+    graph_statistics,
+    load_edge_list,
+    save_edge_list,
+)
+
+
+class TestIO:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(tiny_graph, path)
+        loaded, labels = load_edge_list(path)
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert loaded.num_nodes == tiny_graph.num_nodes
+        np.testing.assert_allclose(loaded.time, tiny_graph.time)
+
+    def test_round_trip_weights(self, tmp_path):
+        g = TemporalGraph.from_edges(
+            np.array([0, 1]), np.array([1, 2]), np.array([1.0, 2.0]),
+            np.array([0.5, 2.5]),
+        )
+        path = tmp_path / "w.txt"
+        save_edge_list(g, path)
+        loaded, _ = load_edge_list(path)
+        np.testing.assert_allclose(loaded.weight, [0.5, 2.5])
+
+    def test_no_weight_column(self, tiny_graph, tmp_path):
+        path = tmp_path / "nw.txt"
+        save_edge_list(tiny_graph, path, include_weight=False)
+        loaded, _ = load_edge_list(path)
+        np.testing.assert_array_equal(loaded.weight, np.ones(tiny_graph.num_edges))
+
+    def test_string_labels_relabelled(self, tmp_path):
+        path = tmp_path / "labels.txt"
+        path.write_text("alice bob 1.5\nbob carol 2.5\n")
+        g, labels = load_edge_list(path)
+        assert labels == {"alice": 0, "bob": 1, "carol": 2}
+        assert g.num_nodes == 3
+
+    def test_comma_separated(self, tmp_path):
+        path = tmp_path / "csv.txt"
+        path.write_text("0,1,1.0\n1,2,2.0\n")
+        g, _ = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\n0 1 1.0\n")
+        g, _ = load_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 1.0\n0 1\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_edge_list(path)
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no edges"):
+            load_edge_list(path)
+
+
+class TestStatistics:
+    def test_counts(self, tiny_graph):
+        st = graph_statistics(tiny_graph)
+        assert st.num_nodes == 8
+        assert st.num_temporal_edges == 11
+        assert st.num_static_edges == 11  # no repeat pairs in the fixture
+
+    def test_static_edges_deduplicate(self):
+        g = TemporalGraph.from_edges(
+            np.array([0, 1, 0]), np.array([1, 0, 2]), np.array([1.0, 2.0, 3.0])
+        )
+        st = graph_statistics(g)
+        assert st.num_temporal_edges == 3
+        assert st.num_static_edges == 2
+
+    def test_time_span(self, path_graph):
+        st = graph_statistics(path_graph)
+        assert (st.time_min, st.time_max) == (1.0, 4.0)
+
+    def test_isolated_nodes_counted(self):
+        g = TemporalGraph.from_edges(
+            np.array([0]), np.array([1]), np.array([1.0]), num_nodes=4
+        )
+        assert graph_statistics(g).isolated_nodes == 2
+
+    def test_as_row_shape(self, tiny_graph):
+        row = graph_statistics(tiny_graph).as_row()
+        assert row["# nodes"] == 8
+        assert row["# temporal edges"] == 11
+        assert "mean degree" in row

@@ -1,0 +1,184 @@
+"""Tests for the TemporalGraph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph
+
+
+def make(edges, **kwargs):
+    src, dst, t = zip(*edges)
+    return TemporalGraph.from_edges(np.array(src), np.array(dst), np.array(t), **kwargs)
+
+
+class TestConstruction:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_nodes == 8
+        assert tiny_graph.num_edges == 11
+
+    def test_edges_sorted_by_time(self):
+        g = make([(0, 1, 5.0), (1, 2, 1.0), (2, 3, 3.0)])
+        assert list(g.time) == [1.0, 3.0, 5.0]
+
+    def test_stable_sort_preserves_tied_order(self):
+        g = make([(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
+        assert list(g.src) == [0, 2, 4]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            make([(1, 1, 0.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one edge"):
+            TemporalGraph.from_edges(np.array([]), np.array([]), np.array([]))
+
+    def test_rejects_negative_node_id(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make([(-1, 2, 0.0)])
+
+    def test_rejects_nonfinite_time(self):
+        with pytest.raises(ValueError, match="finite"):
+            make([(0, 1, float("inf"))])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            TemporalGraph.from_edges(np.array([0]), np.array([1, 2]), np.array([0.0]))
+
+    def test_rejects_small_num_nodes(self):
+        with pytest.raises(ValueError, match="too small"):
+            make([(0, 5, 0.0)], num_nodes=3)
+
+    def test_explicit_num_nodes_allows_isolated(self):
+        g = make([(0, 1, 0.0)], num_nodes=5)
+        assert g.num_nodes == 5
+        assert g.degrees()[4] == 0
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="positive"):
+            TemporalGraph.from_edges(
+                np.array([0]), np.array([1]), np.array([0.0]), np.array([0.0])
+            )
+
+    def test_default_weights_are_one(self, path_graph):
+        np.testing.assert_array_equal(path_graph.weight, np.ones(4))
+
+    def test_parallel_edges_kept(self):
+        g = make([(0, 1, 1.0), (0, 1, 2.0), (1, 0, 3.0)])
+        assert g.num_edges == 3
+
+    def test_repr(self, path_graph):
+        assert "nodes=5" in repr(path_graph)
+        assert "events=4" in repr(path_graph)
+
+
+class TestDegreesAndNeighbors:
+    def test_temporal_degree_counts_events(self):
+        g = make([(0, 1, 1.0), (0, 1, 2.0), (0, 2, 3.0)])
+        assert g.degrees()[0] == 3
+        assert g.degrees()[1] == 2
+
+    def test_distinct_neighbor_counts(self):
+        g = make([(0, 1, 1.0), (0, 1, 2.0), (0, 2, 3.0)])
+        np.testing.assert_array_equal(g.distinct_neighbor_counts(), [2, 1, 1])
+
+    def test_neighbors_sorted_unique(self):
+        g = make([(0, 3, 1.0), (0, 1, 2.0), (0, 3, 3.0)])
+        np.testing.assert_array_equal(g.neighbors(0), [1, 3])
+
+    def test_degree_sum_is_twice_edges(self, sbm_graph):
+        assert sbm_graph.degrees().sum() == 2 * sbm_graph.num_edges
+
+
+class TestIncidenceQueries:
+    def test_incident_time_sorted(self, tiny_graph):
+        _, times, _ = tiny_graph.incident(0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_events_before_inclusive(self, path_graph):
+        nbrs, times, _ = path_graph.events_before(1, 2.0, inclusive=True)
+        assert set(nbrs.tolist()) == {0, 2}
+
+    def test_events_before_exclusive(self, path_graph):
+        nbrs, times, _ = path_graph.events_before(1, 2.0, inclusive=False)
+        assert nbrs.tolist() == [0]
+
+    def test_events_before_none(self, path_graph):
+        nbrs, _, _ = path_graph.events_before(4, 3.0, inclusive=True)
+        assert nbrs.size == 0
+
+    def test_events_before_edge_ids_match_times(self, tiny_graph):
+        _, times, eids = tiny_graph.events_before(0, 2015.5)
+        np.testing.assert_array_equal(times, tiny_graph.time[eids])
+
+    def test_last_event_time(self, tiny_graph):
+        assert tiny_graph.last_event_time(0) == 2018.0
+
+    def test_last_event_time_isolated(self):
+        g = make([(0, 1, 1.0)], num_nodes=3)
+        assert g.last_event_time(2) is None
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert tiny_graph.has_edge(1, 0)
+        assert not tiny_graph.has_edge(1, 7)
+
+
+class TestTimeScaling:
+    def test_times01_range(self, tiny_graph):
+        t01 = tiny_graph.times01()
+        assert t01.min() == 0.0
+        assert t01.max() == 1.0
+
+    def test_times01_monotone(self, tiny_graph):
+        assert np.all(np.diff(tiny_graph.times01()) >= 0)
+
+    def test_scale_time_endpoints(self, path_graph):
+        assert path_graph.scale_time(1.0) == 0.0
+        assert path_graph.scale_time(4.0) == 1.0
+        assert path_graph.scale_time(2.5) == 0.5
+
+    def test_constant_time_graph_scales_to_zero(self):
+        g = make([(0, 1, 7.0), (1, 2, 7.0)])
+        np.testing.assert_array_equal(g.times01(), [0.0, 0.0])
+        assert g.scale_time(7.0) == 0.0
+
+
+class TestSlicing:
+    def test_snapshot_cuts_future(self, path_graph):
+        snap = path_graph.snapshot(2.0)
+        assert snap.num_edges == 2
+        assert snap.num_nodes == path_graph.num_nodes
+
+    def test_snapshot_exclusive(self, path_graph):
+        snap = path_graph.snapshot(2.0, inclusive=False)
+        assert snap.num_edges == 1
+
+    def test_snapshot_empty_raises(self, path_graph):
+        with pytest.raises(ValueError, match="no edges"):
+            path_graph.snapshot(0.5)
+
+    def test_split_recent_sizes(self, sbm_graph):
+        train, held = sbm_graph.split_recent(0.2)
+        assert held.size == round(sbm_graph.num_edges * 0.2)
+        assert train.num_edges + held.size == sbm_graph.num_edges
+
+    def test_split_recent_keeps_oldest(self, path_graph):
+        train, held = path_graph.split_recent(0.25)
+        assert train.time.max() <= path_graph.time[held].min()
+
+    def test_split_recent_preserves_node_space(self, sbm_graph):
+        train, _ = sbm_graph.split_recent(0.3)
+        assert train.num_nodes == sbm_graph.num_nodes
+
+    def test_split_recent_rejects_bad_fraction(self, path_graph):
+        with pytest.raises(ValueError):
+            path_graph.split_recent(1.0)
+
+    def test_iter_chronological(self, path_graph):
+        events = list(path_graph.iter_chronological())
+        assert [e.time for e in events] == [1.0, 2.0, 3.0, 4.0]
+        assert events[0].u == 0 and events[0].v == 1
+
+    def test_edge_tuples_subset(self, path_graph):
+        tuples = path_graph.edge_tuples([0, 2])
+        assert tuples == [(0, 1, 1.0), (2, 3, 3.0)]

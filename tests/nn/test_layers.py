@@ -1,0 +1,223 @@
+"""Tests for nn layers: Linear, Embedding, LSTM, StackedLSTM, BatchNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm1d,
+    Embedding,
+    Linear,
+    LSTM,
+    Sequential,
+    StackedLSTM,
+    Tensor,
+    check_gradients,
+)
+
+
+class TestModuleInfra:
+    def test_parameter_discovery(self):
+        lin = Linear(3, 2)
+        assert len(lin.parameters()) == 2  # weight + bias
+
+    def test_parameters_deduplicated(self):
+        lin = Linear(2, 2)
+        seq = Sequential(lin, lin)
+        assert len(seq.parameters()) == 2
+
+    def test_nested_module_list(self):
+        stacked = StackedLSTM(3, 4, num_layers=2)
+        # each LSTM: w_ih, w_hh, bias
+        assert len(stacked.parameters()) == 6
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(BatchNorm1d(2), Linear(2, 2))
+        seq.eval()
+        assert not seq.layers[0].training
+        seq.train()
+        assert seq.layers[0].training
+
+    def test_zero_grad_clears(self):
+        lin = Linear(2, 1)
+        out = lin(Tensor(np.ones((3, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_num_parameters(self):
+        lin = Linear(3, 2)
+        assert lin.num_parameters() == 3 * 2 + 2
+
+
+class TestLinear:
+    def test_shape(self):
+        lin = Linear(4, 3, rng=0)
+        assert lin(Tensor(np.ones((5, 4)))).shape == (5, 3)
+
+    def test_no_bias(self):
+        lin = Linear(4, 3, bias=False)
+        assert lin.bias is None
+        assert len(lin.parameters()) == 1
+
+    def test_gradcheck(self):
+        lin = Linear(3, 2, rng=1)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)), requires_grad=True)
+        worst = check_gradients(lambda: (lin(x) ** 2).sum(), lin.parameters() + [x])
+        assert worst < 1e-5
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 2)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(10, 4, rng=0)
+        assert emb(np.array([1, 2, 3])).shape == (3, 4)
+
+    def test_2d_lookup(self):
+        emb = Embedding(10, 4, rng=0)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_gradient_scatter_adds_duplicates(self):
+        emb = Embedding(5, 3, rng=0)
+        out = emb(np.array([1, 1, 2])).sum()
+        out.backward()
+        np.testing.assert_allclose(emb.weight.grad[1], 2 * np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[2], np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_init_scale_default(self):
+        """Default bound is 1/sqrt(dim): roughly unit-norm rows."""
+        emb = Embedding(100, 16, rng=0)
+        assert np.abs(emb.weight.data).max() <= 1.0 / 4.0
+        norms = np.linalg.norm(emb.weight.data, axis=1)
+        assert 0.3 < norms.mean() < 1.5
+
+    def test_init_scale_custom_bound(self):
+        emb = Embedding(100, 16, rng=0, bound=0.5 / 16)
+        assert np.abs(emb.weight.data).max() <= 0.5 / 16
+
+
+class TestLSTM:
+    def test_output_shapes(self):
+        lstm = LSTM(3, 5, rng=0)
+        steps = [Tensor(np.ones((2, 3))) for _ in range(4)]
+        outputs, final = lstm(steps)
+        assert len(outputs) == 4
+        assert final.shape == (2, 5)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            LSTM(3, 5)([])
+
+    def test_forget_bias_initialized_to_one(self):
+        lstm = LSTM(2, 3)
+        assert np.all(lstm.bias.data[3:6] == 1.0)
+
+    def test_mask_freezes_state(self):
+        """A fully masked step must not change the hidden state."""
+        lstm = LSTM(2, 3, rng=0)
+        x = [Tensor(np.ones((1, 2))), Tensor(np.full((1, 2), 9.0))]
+        mask = np.array([[1.0], [0.0]])
+        _, h_masked = lstm(x, mask=mask)
+        _, h_single = lstm(x[:1])
+        np.testing.assert_allclose(h_masked.data, h_single.data)
+
+    def test_gradcheck_through_time(self):
+        lstm = LSTM(2, 3, rng=1)
+        rng = np.random.default_rng(0)
+        xs = [Tensor(rng.normal(size=(2, 2)), requires_grad=True) for _ in range(3)]
+        def f():
+            _, h = lstm(xs)
+            return (h * h).sum()
+        worst = check_gradients(f, lstm.parameters() + xs)
+        assert worst < 1e-5
+
+    def test_gradcheck_with_mask(self):
+        lstm = LSTM(2, 3, rng=2)
+        rng = np.random.default_rng(1)
+        xs = [Tensor(rng.normal(size=(2, 2)), requires_grad=True) for _ in range(3)]
+        mask = np.array([[1, 1], [1, 0], [0, 0]], dtype=float)
+        def f():
+            _, h = lstm(xs, mask=mask)
+            return (h * h).sum()
+        worst = check_gradients(f, lstm.parameters() + xs)
+        assert worst < 1e-5
+
+
+class TestStackedLSTM:
+    def test_two_layers_compose(self):
+        stacked = StackedLSTM(3, 4, num_layers=2, rng=0)
+        steps = [Tensor(np.ones((2, 3))) for _ in range(3)]
+        outputs, final = stacked(steps)
+        assert final.shape == (2, 4)
+        assert len(outputs) == 3
+
+    def test_single_layer_matches_lstm(self):
+        stacked = StackedLSTM(3, 4, num_layers=1, rng=5)
+        lone = LSTM(3, 4, rng=5)
+        # Same rng seed -> same initial weights.
+        steps = [Tensor(np.ones((1, 3)))]
+        np.testing.assert_allclose(stacked(steps)[1].data, lone(steps)[1].data)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            StackedLSTM(3, 4, num_layers=0)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_train_mode(self):
+        bn = BatchNorm1d(4)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(64, 4)))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm1d(2, momentum=1.0)  # running stats = last batch
+        x = Tensor(np.array([[0.0, 0.0], [2.0, 4.0]]))
+        bn(x)
+        bn.eval()
+        out = bn(Tensor(np.array([[1.0, 2.0]]))).data
+        np.testing.assert_allclose(out, [[0.0, 0.0]], atol=1e-2)
+
+    def test_eval_mode_is_deterministic_wrt_batch(self):
+        bn = BatchNorm1d(3)
+        bn(Tensor(np.random.default_rng(1).normal(size=(16, 3))))
+        bn.eval()
+        single = bn(Tensor(np.ones((1, 3)))).data
+        batch = bn(Tensor(np.ones((4, 3)))).data
+        np.testing.assert_allclose(batch[0], single[0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm1d(3)(Tensor(np.ones((2, 4))))
+
+    def test_gradcheck(self):
+        bn = BatchNorm1d(3)
+        x = Tensor(np.random.default_rng(2).normal(size=(6, 3)), requires_grad=True)
+        worst = check_gradients(
+            lambda: (bn(x) ** 2).sum(), [x, bn.gamma, bn.beta]
+        )
+        assert worst < 1e-4
+
+
+class TestTraining:
+    def test_linear_regression_converges(self):
+        """The full stack (layer + autograd + Adam) must fit y = 2x + 1."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(128, 1))
+        y = 2.0 * x + 1.0
+        lin = Linear(1, 1, rng=0)
+        opt = Adam(lin.parameters(), lr=0.05)
+        for _ in range(300):
+            pred = lin(Tensor(x))
+            loss = ((pred - Tensor(y)) ** 2).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert lin.weight.data[0, 0] == pytest.approx(2.0, abs=0.05)
+        assert lin.bias.data[0] == pytest.approx(1.0, abs=0.05)

@@ -1,0 +1,132 @@
+"""Tests for SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Tensor
+from repro.nn.optim import Optimizer
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start]), requires_grad=True)
+
+
+def step_loss(p):
+    return (p * p).sum()
+
+
+class TestOptimizerBase:
+    def test_requires_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_constant_tensor(self):
+        with pytest.raises(ValueError, match="require grad"):
+            SGD([Tensor([1.0])], lr=0.1)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        step_loss(p).backward()
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_base_step_abstract(self):
+        opt = Optimizer([quadratic_param()], lr=0.1)
+        with pytest.raises(NotImplementedError):
+            opt.step()
+
+
+class TestSGD:
+    def test_single_step_matches_formula(self):
+        p = quadratic_param(3.0)
+        opt = SGD([p], lr=0.1)
+        step_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [3.0 - 0.1 * 6.0])
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            step_loss(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = quadratic_param(5.0)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                step_loss(p).backward()
+                opt.step()
+            return abs(p.data[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+    def test_clip_bounds_update(self):
+        p = quadratic_param(100.0)
+        opt = SGD([p], lr=1.0, clip=1.0)
+        step_loss(p).backward()  # grad = 200
+        opt.step()
+        np.testing.assert_allclose(p.data, [99.0])  # clipped to 1
+
+    def test_skips_params_without_grad(self):
+        p, q = quadratic_param(1.0), quadratic_param(1.0)
+        opt = SGD([p, q], lr=0.1)
+        step_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, [1.0])
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            step_loss(p).backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, Adam's first |update| ≈ lr."""
+        p = quadratic_param(5.0)
+        opt = Adam([p], lr=0.1)
+        step_loss(p).backward()
+        opt.step()
+        np.testing.assert_allclose(p.data, [5.0 - 0.1], atol=1e-6)
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.999))
+
+    def test_handles_sparse_like_gradients(self):
+        """Rows that never receive gradient must stay untouched."""
+        p = Tensor(np.ones((4, 2)), requires_grad=True)
+        opt = Adam([p], lr=0.5)
+        (p[np.array([0])] ** 2).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(p.data[1:], np.ones((3, 2)))
+        assert not np.allclose(p.data[0], np.ones(2))
+
+    def test_ill_conditioned_descent(self):
+        """Adam must make progress on very differently scaled coordinates."""
+        p = Tensor(np.array([1.0, 1.0]), requires_grad=True)
+        scales = Tensor(np.array([1.0, 1e4]))
+        opt = Adam([p], lr=0.05)
+        for _ in range(400):
+            opt.zero_grad()
+            ((p * p) * scales).sum().backward()
+            opt.step()
+        assert np.all(np.abs(p.data) < 0.05)

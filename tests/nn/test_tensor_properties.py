@@ -1,0 +1,92 @@
+"""Property-based tests of autograd algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, softmax
+
+finite = st.floats(min_value=-10, max_value=10, allow_nan=False)
+
+
+def small_arrays(shape=(3, 4)):
+    return arrays(np.float64, shape, elements=finite)
+
+
+@given(small_arrays(), small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_addition_commutes(a, b):
+    x, y = Tensor(a), Tensor(b)
+    np.testing.assert_allclose((x + y).data, (y + x).data)
+
+
+@given(small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_double_negation(a):
+    np.testing.assert_allclose((-(-Tensor(a))).data, a)
+
+
+@given(small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_sum_linear_in_scalar(a):
+    x = Tensor(a, requires_grad=True)
+    (x * 3.0).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(a, 3.0))
+
+
+@given(small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_gradient_of_sum_is_ones(a):
+    x = Tensor(a, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+
+@given(small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_softmax_simplex(a):
+    out = softmax(Tensor(a), axis=1).data
+    assert np.all(out >= 0)
+    np.testing.assert_allclose(out.sum(axis=1), np.ones(a.shape[0]), atol=1e-12)
+
+
+@given(small_arrays(), st.floats(min_value=-5, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_softmax_shift_invariant(a, shift):
+    base = softmax(Tensor(a), axis=1).data
+    shifted = softmax(Tensor(a + shift), axis=1).data
+    np.testing.assert_allclose(base, shifted, atol=1e-10)
+
+
+@given(small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_relu_idempotent(a):
+    x = Tensor(a)
+    np.testing.assert_allclose(x.relu().relu().data, x.relu().data)
+
+
+@given(small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_tanh_odd_function(a):
+    np.testing.assert_allclose(
+        Tensor(-a).tanh().data, -Tensor(a).tanh().data, atol=1e-12
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=60, deadline=None)
+def test_sigmoid_symmetry(a):
+    """σ(-x) = 1 - σ(x)."""
+    np.testing.assert_allclose(
+        Tensor(-a).sigmoid().data, 1.0 - Tensor(a).sigmoid().data, atol=1e-12
+    )
+
+
+@given(small_arrays())
+@settings(max_examples=40, deadline=None)
+def test_product_rule(a):
+    """d(x·x)/dx = 2x elementwise."""
+    x = Tensor(a, requires_grad=True)
+    (x * x).sum().backward()
+    np.testing.assert_allclose(x.grad, 2 * a, atol=1e-10)

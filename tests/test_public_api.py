@@ -1,0 +1,70 @@
+"""The public API surface: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.datasets",
+    "repro.nn",
+    "repro.walks",
+    "repro.core",
+    "repro.baselines",
+    "repro.eval",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    exported = getattr(mod, "__all__", [])
+    for item in exported:
+        assert hasattr(mod, item), f"{name}.__all__ lists missing {item!r}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_docstrings(name):
+    mod = importlib.import_module(name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{name} lacks a docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    import repro
+
+    assert callable(repro.EHNA)
+    assert callable(repro.TemporalGraph.from_edges)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "repro.core.EHNA",
+        "repro.baselines.Node2Vec",
+        "repro.baselines.CTDNE",
+        "repro.baselines.LINE",
+        "repro.baselines.HTNE",
+    ],
+)
+def test_methods_implement_protocol(name):
+    from repro.base import EmbeddingMethod
+
+    module, _, cls_name = name.rpartition(".")
+    cls = getattr(importlib.import_module(module), cls_name)
+    assert issubclass(cls, EmbeddingMethod)
+    assert cls.name  # human-readable label for result tables
+    assert cls.fit.__doc__ or EmbeddingMethod.fit.__doc__

@@ -1,0 +1,78 @@
+"""Tests for the alias-method sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import AliasTable, ensure_rng
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AliasTable([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            AliasTable([0.0, 0.0])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            AliasTable([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            AliasTable(np.ones((2, 2)))
+
+    def test_len(self):
+        assert len(AliasTable([1, 2, 3])) == 3
+
+
+class TestSampling:
+    def test_single_weight(self):
+        table = AliasTable([3.0])
+        assert table.sample(ensure_rng(0)) == 0
+
+    def test_scalar_sample_type(self):
+        out = AliasTable([1, 1]).sample(ensure_rng(0))
+        assert isinstance(out, int)
+
+    def test_batch_shape(self):
+        out = AliasTable([1, 2, 3]).sample(ensure_rng(0), size=(4, 5))
+        assert out.shape == (4, 5)
+        assert out.dtype == np.int64
+
+    def test_zero_weight_never_sampled(self):
+        table = AliasTable([0.0, 1.0, 0.0])
+        draws = table.sample(ensure_rng(0), size=1000)
+        assert set(np.unique(draws)) == {1}
+
+    def test_empirical_distribution_matches(self):
+        weights = np.array([1.0, 2.0, 7.0])
+        table = AliasTable(weights)
+        draws = table.sample(ensure_rng(42), size=60_000)
+        freq = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freq, weights / weights.sum(), atol=0.02)
+
+    def test_deterministic_given_seed(self):
+        table = AliasTable([1, 2, 3])
+        a = table.sample(ensure_rng(9), size=20)
+        b = table.sample(ensure_rng(9), size=20)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestProbabilities:
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=40)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reconstructed_probabilities_exact(self, weights):
+        """The alias decomposition must reproduce the normalized weights."""
+        w = np.array(weights)
+        table = AliasTable(w)
+        np.testing.assert_allclose(table.probabilities(), w / w.sum(), atol=1e-9)

@@ -1,0 +1,61 @@
+"""Tests for Timer and the argument validators."""
+
+import time
+
+import pytest
+
+from repro.utils import Timer, check_fraction, check_non_negative, check_positive
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= first
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestValidators:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+    def test_check_non_negative_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative("x", -0.1)
+
+    @pytest.mark.parametrize("ok", [0.1, 0.5, 0.99])
+    def test_check_fraction_open_interval(self, ok):
+        check_fraction("f", ok)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 1.5])
+    def test_check_fraction_rejects_bounds(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction("f", bad)
+
+    def test_check_fraction_inclusive_allows_bounds(self):
+        check_fraction("f", 0.0, inclusive=True)
+        check_fraction("f", 1.0, inclusive=True)
+
+    def test_error_message_contains_value(self):
+        with pytest.raises(ValueError, match="-3"):
+            check_positive("count", -3)

@@ -1,0 +1,47 @@
+"""Tests for the Walk record."""
+
+import numpy as np
+import pytest
+
+from repro.walks import Walk
+
+
+class TestWalkValidation:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            Walk(nodes=[])
+
+    def test_edge_times_length_checked(self):
+        with pytest.raises(ValueError):
+            Walk(nodes=[0, 1, 2], edge_times=[1.0])
+
+    def test_static_walk_allows_empty_times(self):
+        w = Walk(nodes=[0, 1, 2])
+        assert len(w) == 3
+        assert w.edge_times == []
+
+    def test_len(self):
+        assert len(Walk(nodes=[3])) == 1
+
+
+class TestNodeTimeSums:
+    def test_each_edge_contributes_to_both_endpoints(self):
+        w = Walk(nodes=[0, 1, 2], edge_times=[10.0, 20.0])
+        np.testing.assert_allclose(w.node_time_sums(), [10.0, 30.0, 20.0])
+
+    def test_repeat_visits_accumulate(self):
+        # 0 -> 1 -> 0: node 0 at both ends
+        w = Walk(nodes=[0, 1, 0], edge_times=[5.0, 7.0])
+        np.testing.assert_allclose(w.node_time_sums(), [5.0, 12.0, 7.0])
+
+    def test_scale_applied(self):
+        w = Walk(nodes=[0, 1], edge_times=[100.0])
+        np.testing.assert_allclose(
+            w.node_time_sums(scale=lambda t: t / 100.0), [1.0, 1.0]
+        )
+
+    def test_single_node_walk_zero_sums(self):
+        np.testing.assert_allclose(Walk(nodes=[4]).node_time_sums(), [0.0])
+
+    def test_static_walk_zero_sums(self):
+        np.testing.assert_allclose(Walk(nodes=[0, 1, 2]).node_time_sums(), np.zeros(3))
