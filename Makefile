@@ -1,0 +1,27 @@
+# Developer entry points.  Everything runs offline with PYTHONPATH=src;
+# no installation step is required.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-all docs-check quickstart
+
+## Tier-1 test suite (the gate every change must keep green).
+test:
+	$(PY) -m pytest -x -q
+
+## Fast walk-engine benchmark (asserts the >=5x batched speedup).
+bench:
+	$(PY) -m pytest benchmarks/bench_walk_engine.py -q -s
+
+## Every benchmark, including full experiment regenerations (slow).
+bench-all:
+	$(PY) -m pytest benchmarks -q -s
+
+## Fail if README code blocks drift from the example files they mirror.
+docs-check:
+	$(PY) tools/check_docs.py
+
+## Run the 60-second quickstart end to end.
+quickstart:
+	$(PY) examples/quickstart.py

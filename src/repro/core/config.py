@@ -51,6 +51,17 @@ class EHNAConfig:
     time_eps: float = 1e-2
     # Noise-distribution exponent P_n(v) ∝ d^power (0 = uniform; ablation).
     negative_power: float = 0.75
+    # LRU walk-cache capacity (in walk sets) of the batched walk engine; 0
+    # disables caching and resamples fresh walks for every target, the
+    # paper's behavior.  With a positive size, repeated fit() epochs (which
+    # replay the same (node, t) targets) and the uniform fallback sampler
+    # reuse cached neighborhoods instead of resampling.
+    walk_cache_size: int = 0
+    # Resolution of the cache key's time component: 0 keys on exact anchor
+    # timestamps (reuse never mixes neighborhoods across anchors), k > 0
+    # quantizes anchors into k buckets on the [0, 1] scale for more hits at
+    # the cost of temporal fidelity.
+    walk_time_buckets: int = 0
     # Loss geometry: "euclidean" (the paper's metric-space argument) or
     # "dot" (the word2vec-style similarity it argues against; ablation).
     objective: str = "euclidean"
@@ -72,6 +83,8 @@ class EHNAConfig:
         check_positive("fallback_hops", self.fallback_hops)
         check_positive("time_eps", self.time_eps)
         check_non_negative("negative_power", self.negative_power)
+        check_non_negative("walk_cache_size", self.walk_cache_size)
+        check_non_negative("walk_time_buckets", self.walk_time_buckets)
         if self.objective not in ("euclidean", "dot"):
             raise ValueError(
                 f"objective must be 'euclidean' or 'dot', got {self.objective!r}"

@@ -38,7 +38,7 @@ from repro.nn.optim import Adam
 from repro.nn.tensor import concat
 from repro.utils.rng import ensure_rng
 from repro.walks.base import Walk
-from repro.walks.static import UniformWalker
+from repro.walks.engine import BatchedWalkEngine
 from repro.walks.temporal import TemporalWalker
 
 
@@ -78,9 +78,19 @@ class EHNA(EmbeddingMethod):
             cfg.dim, cfg.lstm_layers, cfg.two_level, rng
         )
         self.sampler = NegativeSampler(graph, power=cfg.negative_power)
-        self.uniform_walker = UniformWalker(graph)
+        # One shared vectorized engine advances every walk family; the
+        # temporal walker stays exposed as a thin per-node wrapper over it
+        # (and doubles as the temporal_walks ablation switch).
+        self.engine = BatchedWalkEngine(
+            graph,
+            p=cfg.p,
+            q=cfg.q,
+            decay=cfg.decay,
+            cache_size=cfg.walk_cache_size,
+            time_buckets=cfg.walk_time_buckets,
+        )
         self.temporal_walker = (
-            TemporalWalker(graph, p=cfg.p, q=cfg.q, decay=cfg.decay)
+            TemporalWalker(graph, p=cfg.p, q=cfg.q, decay=cfg.decay, engine=self.engine)
             if cfg.temporal_walks
             else None
         )
@@ -107,13 +117,6 @@ class EHNA(EmbeddingMethod):
         self._final = self._final_embeddings()
         return self
 
-    def _fallback_walks(self, node: int) -> list[Walk]:
-        """GraphSAGE-style 2-hop uniform neighborhood (Section IV.D)."""
-        cfg = self.config
-        return self.uniform_walker.walks(
-            node, cfg.num_walks, cfg.fallback_hops, self._rng
-        )
-
     def _aggregate(self, targets: np.ndarray, walk_sets, use_attention: bool):
         cfg = self.config
         batch = batch_walks(
@@ -139,32 +142,50 @@ class EHNA(EmbeddingMethod):
         uniform walks without attention.  ``times[i] is None`` forces the
         fallback.  Returns a ``(len(nodes), dim)`` tensor whose rows line up
         with ``nodes``.
+
+        Walk generation is batched: one lockstep engine call samples the
+        temporal walks of every eligible node in the batch, and a second one
+        covers the uniform fallback/ablation walks.
         """
         cfg = self.config
         temporal_idx: list[int] = []
         temporal_sets: list[list[Walk]] = []
         static_idx: list[int] = []
         static_sets: list[list[Walk]] = []
-        for i, (v, t) in enumerate(zip(nodes, times)):
-            v = int(v)
-            if self.temporal_walker is not None and t is not None:
-                walks = self.temporal_walker.walks(
-                    v, float(t), cfg.num_walks, cfg.walk_length, self._rng,
-                    include_context=include_context,
-                )
+
+        eligible = [
+            i
+            for i, t in enumerate(times)
+            if self.temporal_walker is not None and t is not None
+        ]
+        eligible_set = set(eligible)
+        need_static: list[int] = [i for i in range(len(nodes)) if i not in eligible_set]
+        if eligible:
+            sets = self.engine.temporal_walk_sets(
+                np.asarray(nodes)[eligible],
+                np.array([float(times[i]) for i in eligible]),
+                cfg.num_walks,
+                cfg.walk_length,
+                self._rng,
+                include_context=include_context,
+            )
+            for i, walks in zip(eligible, sets):
                 if any(len(w) > 1 for w in walks):
                     temporal_idx.append(i)
                     temporal_sets.append(walks)
-                    continue
-            if self.temporal_walker is None:
-                # EHNA-RW: full-length static walks for every node.
-                walks = self.uniform_walker.walks(
-                    v, cfg.num_walks, cfg.walk_length, self._rng
-                )
-            else:
-                walks = self._fallback_walks(v)
-            static_idx.append(i)
-            static_sets.append(walks)
+                else:
+                    # No usable history at this anchor: uniform fallback.
+                    need_static.append(i)
+        if need_static:
+            need_static.sort()
+            # EHNA-RW samples full-length static walks for every node; the
+            # fallback neighborhood stays shallow (Section IV.D).
+            length = cfg.walk_length if self.temporal_walker is None else cfg.fallback_hops
+            sets = self.engine.uniform_walk_sets(
+                np.asarray(nodes)[need_static], cfg.num_walks, length, self._rng
+            )
+            static_idx = need_static
+            static_sets = sets
 
         parts = []
         order: list[int] = []

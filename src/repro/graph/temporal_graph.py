@@ -47,6 +47,7 @@ class TemporalGraph:
     """
 
     def __init__(self, num_nodes, src, dst, time, weight):
+        """Wrap already validated, time-sorted edge arrays (internal)."""
         self._n = int(num_nodes)
         self._src = src
         self._dst = dst
@@ -55,6 +56,8 @@ class TemporalGraph:
         self._build_incidence()
         self._pair_set = None  # lazy: set of (min(u,v), max(u,v))
         self._times01 = None  # lazy: times rescaled to [0, 1]
+        self._inc_weight = None  # lazy: per-incidence-slot edge weights
+        self._distinct = None  # lazy: distinct-neighbor CSR
 
     # ------------------------------------------------------------------
     # construction
@@ -101,31 +104,48 @@ class TemporalGraph:
         return cls(num_nodes, src[order], dst[order], time[order], weight[order])
 
     def _build_incidence(self) -> None:
-        """Per-node incidence lists sorted by time (CSR layout)."""
+        """Per-node incidence lists sorted by time (CSR layout).
+
+        Each edge contributes two incidence slots (one per endpoint).  A
+        stable sort by owning node preserves the global time order inside
+        every node's slice, so the whole index is built with vectorized
+        NumPy ops — no per-edge Python loop.
+        """
         n, m = self._n, self._src.size
-        counts = np.bincount(self._src, minlength=n) + np.bincount(
-            self._dst, minlength=n
-        )
+        owner = np.empty(2 * m, dtype=np.int64)
+        nbr = np.empty(2 * m, dtype=np.int64)
+        owner[0::2] = self._src
+        owner[1::2] = self._dst
+        nbr[0::2] = self._dst
+        nbr[1::2] = self._src
+        eid = np.repeat(np.arange(m, dtype=np.int64), 2)
+        order = np.argsort(owner, kind="stable")
+        counts = np.bincount(owner, minlength=n)
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        nbr = np.empty(2 * m, dtype=np.int64)
-        eid = np.empty(2 * m, dtype=np.int64)
-        cursor = offsets[:-1].copy()
-        # Edges are globally time-sorted, so appending in edge order keeps each
-        # node's incidence slice time-sorted too.
-        for e in range(m):
-            u, v = self._src[e], self._dst[e]
-            nbr[cursor[u]] = v
-            eid[cursor[u]] = e
-            cursor[u] += 1
-            nbr[cursor[v]] = u
-            eid[cursor[v]] = e
-            cursor[v] += 1
         self._inc_offsets = offsets
-        self._inc_nbr = nbr
-        self._inc_eid = eid
-        self._inc_time = self._time[eid]
+        self._inc_nbr = nbr[order]
+        self._inc_eid = eid[order]
+        self._inc_time = self._time[self._inc_eid]
         self._degree = counts
+
+    def _build_distinct(self) -> None:
+        """Distinct-neighbor CSR: sorted unique neighbors with multiplicities."""
+        n = self._n
+        owner = np.repeat(np.arange(n, dtype=np.int64), self._degree)
+        order = np.lexsort((self._inc_nbr, owner))
+        s_owner = owner[order]
+        s_nbr = self._inc_nbr[order]
+        first = np.ones(s_nbr.size, dtype=bool)
+        if s_nbr.size:
+            first[1:] = (s_nbr[1:] != s_nbr[:-1]) | (s_owner[1:] != s_owner[:-1])
+        starts = np.flatnonzero(first)
+        dnbr = s_nbr[starts]
+        mult = np.diff(np.append(starts, s_nbr.size)).astype(np.float64)
+        dcounts = np.bincount(s_owner[starts], minlength=n)
+        dindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(dcounts, out=dindptr[1:])
+        self._distinct = (dindptr, dnbr, mult)
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -171,11 +191,8 @@ class TemporalGraph:
 
     def distinct_neighbor_counts(self) -> np.ndarray:
         """Number of distinct neighbors of every node (static degree)."""
-        out = np.empty(self._n, dtype=np.int64)
-        for v in range(self._n):
-            lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
-            out[v] = np.unique(self._inc_nbr[lo:hi]).size
-        return out
+        dindptr, _, _ = self.distinct_csr()
+        return np.diff(dindptr)
 
     def times01(self) -> np.ndarray:
         """Edge timestamps rescaled monotonically to ``[0, 1]``.
@@ -199,6 +216,20 @@ class TemporalGraph:
             return 0.0
         return (float(t) - lo) / span
 
+    def scale_times(self, t) -> np.ndarray:
+        """Vectorized :meth:`scale_time`: map an array of raw timestamps.
+
+        Element-for-element identical to calling :meth:`scale_time` on each
+        entry (same subtraction/division order), which the batched walk
+        engine relies on for bitwise reproducibility.
+        """
+        t = np.asarray(t, dtype=np.float64)
+        lo, hi = self.time_span
+        span = hi - lo
+        if span == 0:
+            return np.zeros_like(t)
+        return (t - lo) / span
+
     # ------------------------------------------------------------------
     # incidence queries
     # ------------------------------------------------------------------
@@ -209,6 +240,41 @@ class TemporalGraph:
         """
         lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
         return self._inc_nbr[lo:hi], self._inc_time[lo:hi], self._inc_eid[lo:hi]
+
+    def incidence_csr(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat CSR view of the whole incidence index.
+
+        Returns ``(indptr, neighbors, times, weights, edge_ids)`` where node
+        ``v``'s incident events occupy the slice ``indptr[v]:indptr[v+1]`` of
+        the four flat arrays, sorted by time.  This is the gather substrate of
+        the batched walk engine: one fancy-indexing operation fetches the
+        candidate sets of every walk in a batch.  All arrays are shared,
+        read-only views — callers must not mutate them.
+        """
+        if self._inc_weight is None:
+            self._inc_weight = self._weight[self._inc_eid]
+        return (
+            self._inc_offsets,
+            self._inc_nbr,
+            self._inc_time,
+            self._inc_weight,
+            self._inc_eid,
+        )
+
+    def distinct_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR of sorted distinct neighbors with event multiplicities.
+
+        Returns ``(indptr, neighbors, multiplicity)``: node ``v``'s distinct
+        neighbors, ascending, live in ``neighbors[indptr[v]:indptr[v+1]]``,
+        and ``multiplicity`` counts the temporal events behind each distinct
+        pair (the static edge weight node2vec uses).  Built lazily in one
+        vectorized pass; arrays are shared, read-only views.
+        """
+        if self._distinct is None:
+            self._build_distinct()
+        return self._distinct
 
     def events_before(
         self, v: int, t: float, inclusive: bool = True
@@ -224,9 +290,9 @@ class TemporalGraph:
         return self._inc_nbr[lo:cut], self._inc_time[lo:cut], self._inc_eid[lo:cut]
 
     def neighbors(self, v: int) -> np.ndarray:
-        """Distinct neighbors of ``v`` over the whole timeline."""
-        lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
-        return np.unique(self._inc_nbr[lo:hi])
+        """Distinct neighbors of ``v`` over the whole timeline (sorted view)."""
+        dindptr, dnbr, _ = self.distinct_csr()
+        return dnbr[dindptr[v] : dindptr[v + 1]]
 
     def last_event_time(self, v: int) -> float | None:
         """Timestamp of the most recent interaction of ``v`` (None if isolated)."""

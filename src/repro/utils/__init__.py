@@ -1,6 +1,6 @@
 """Shared utilities: RNG handling, alias sampling, timing, validation."""
 
-from repro.utils.alias import AliasTable
+from repro.utils.alias import AliasTable, PackedAliasTables, build_alias_tables
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timers import Timer
 from repro.utils.validation import (
@@ -11,6 +11,8 @@ from repro.utils.validation import (
 
 __all__ = [
     "AliasTable",
+    "PackedAliasTables",
+    "build_alias_tables",
     "ensure_rng",
     "spawn_rng",
     "Timer",

@@ -3,6 +3,15 @@
 Used by the node2vec walker (per-edge transition tables), LINE's edge sampler
 and the degree-biased negative sampler (``P_n(v) ~ d_v^0.75``), all of which
 draw millions of samples from fixed distributions.
+
+Two entry points:
+
+- :class:`AliasTable` — one distribution, the classic Vose construction.
+- :class:`PackedAliasTables` — one table per CSR segment (e.g. one per graph
+  node), all built in a single vectorized pass: every segment runs its own
+  small/large pairing, but the pairings advance in lockstep across segments
+  so the Python-level loop count is ``max`` segment size, not ``sum``.  This
+  is what the batched walk engine uses for first-order node2vec transitions.
 """
 
 from __future__ import annotations
@@ -10,6 +19,142 @@ from __future__ import annotations
 import numpy as np
 
 from repro.utils.rng import ensure_rng
+
+
+def build_alias_tables(weights, indptr) -> tuple[np.ndarray, np.ndarray]:
+    """Build alias tables for every CSR segment in one vectorized pass.
+
+    ``weights`` is a flat array of non-negative unnormalized probabilities and
+    ``indptr`` the segment boundaries (segment ``s`` spans
+    ``weights[indptr[s]:indptr[s+1]]``).  Empty segments are allowed; every
+    non-empty segment must have a positive total.
+
+    Returns ``(prob, alias)`` flat arrays aligned with ``weights``.  ``alias``
+    holds *flat* indices (always inside the owning segment).  Entry ``i``
+    resolves to ``i`` with probability ``prob[i]`` and to ``alias[i]``
+    otherwise, once a segment and a uniform slot inside it were chosen.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if w.ndim != 1:
+        raise ValueError("weights must be a 1-D array")
+    if indptr.ndim != 1 or indptr.size < 1 or indptr[-1] != w.size:
+        raise ValueError("indptr must be 1-D and end at len(weights)")
+    if np.any(w < 0) or not np.all(np.isfinite(w)):
+        raise ValueError("weights must be finite and non-negative")
+
+    sizes = np.diff(indptr)
+    if np.any(sizes < 0):
+        raise ValueError("indptr must be non-decreasing")
+    num_seg = sizes.size
+    totals = np.zeros(num_seg, dtype=np.float64)
+    nonempty = sizes > 0
+    if nonempty.any():
+        totals[nonempty] = np.add.reduceat(w, indptr[:-1][nonempty])
+    if np.any(nonempty & (totals <= 0)):
+        raise ValueError("every non-empty segment must have positive total weight")
+
+    prob = np.ones(w.size, dtype=np.float64)
+    alias = np.arange(w.size, dtype=np.int64)
+    if w.size == 0:
+        return prob, alias
+
+    # Scale every segment so its mean entry is exactly 1.
+    scale = np.zeros(num_seg, dtype=np.float64)
+    scale[nonempty] = sizes[nonempty] / totals[nonempty]
+    scaled = w * np.repeat(scale, sizes)
+
+    # Per-segment small/large stacks laid out in flat arrays: segment s's
+    # stack space is [indptr[s], indptr[s+1]).  Entries are pushed in index
+    # order, matching the LIFO discipline of the classic construction.
+    seg_of = np.repeat(np.arange(num_seg, dtype=np.int64), sizes)
+    small_mask = scaled < 1.0
+    base = indptr[:-1]
+
+    def _stack_init(mask):
+        csum = np.cumsum(mask)
+        pad = np.concatenate([[0], csum])
+        rank = pad[1:] - 1 - pad[base[seg_of]]
+        stack = np.empty(w.size, dtype=np.int64)
+        idx = np.flatnonzero(mask)
+        stack[base[seg_of[idx]] + rank[idx]] = idx
+        top = np.bincount(seg_of[idx], minlength=num_seg).astype(np.int64)
+        return stack, top
+
+    small_stack, small_top = _stack_init(small_mask)
+    large_stack, large_top = _stack_init(~small_mask)
+
+    active = np.flatnonzero((small_top > 0) & (large_top > 0))
+    while active.size:
+        b = base[active]
+        s = small_stack[b + small_top[active] - 1]
+        l = large_stack[b + large_top[active] - 1]
+        prob[s] = scaled[s]
+        alias[s] = l
+        small_top[active] -= 1
+        scaled[l] += scaled[s] - 1.0
+        demote = scaled[l] < 1.0
+        if demote.any():
+            d = active[demote]
+            large_top[d] -= 1
+            small_stack[base[d] + small_top[d]] = l[demote]
+            small_top[d] += 1
+        active = active[(small_top[active] > 0) & (large_top[active] > 0)]
+    # Whatever is left on either stack has residual mass 1 up to float error;
+    # its prob stays at the initialized 1.0 (alias points at itself).
+    return prob, alias
+
+
+class PackedAliasTables:
+    """Alias tables for many distributions packed in CSR form.
+
+    One table per segment of ``indptr``; all tables are constructed together
+    by :func:`build_alias_tables`.  :meth:`sample` draws one slot from each of
+    a batch of segments with two vectorized RNG calls — the batched walk
+    engine's per-step transition sampler.
+    """
+
+    __slots__ = ("_indptr", "_sizes", "_prob", "_alias")
+
+    def __init__(self, weights, indptr) -> None:
+        self._indptr = np.asarray(indptr, dtype=np.int64)
+        self._prob, self._alias = build_alias_tables(weights, self._indptr)
+        self._sizes = np.diff(self._indptr)
+
+    def __len__(self) -> int:
+        return self._sizes.size
+
+    def table_sizes(self) -> np.ndarray:
+        """Number of entries of every table (read-only view)."""
+        return self._sizes
+
+    def sample(self, rows, rng=None) -> np.ndarray:
+        """Draw one *local* index from each requested table.
+
+        ``rows`` is an array of segment ids (repeats allowed); every row must
+        be non-empty.  The draw order is one bounded-integer batch followed by
+        one uniform batch, which at batch size 1 consumes the RNG stream
+        exactly like ``AliasTable.sample`` (integer draw, then coin).
+        """
+        rng = ensure_rng(rng)
+        rows = np.asarray(rows, dtype=np.int64)
+        sizes = self._sizes[rows]
+        if np.any(sizes <= 0):
+            raise ValueError("cannot sample from an empty table")
+        i = rng.integers(0, sizes)
+        coin = rng.random(rows.size)
+        flat = self._indptr[rows] + i
+        return np.where(coin < self._prob[flat], i, self._alias[flat] - self._indptr[rows])
+
+    def probabilities(self, row: int) -> np.ndarray:
+        """Reconstruct one table's normalized probability vector (testing)."""
+        lo, hi = self._indptr[row], self._indptr[row + 1]
+        n = hi - lo
+        p = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            p[i] += self._prob[lo + i]
+            p[self._alias[lo + i] - lo] += 1.0 - self._prob[lo + i]
+        return p / n
 
 
 class AliasTable:

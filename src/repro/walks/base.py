@@ -1,4 +1,12 @@
-"""Walk record shared by all walk engines."""
+"""Walk record shared by all walk engines.
+
+Both the per-node ``walk_sequential`` reference loops and the vectorized
+:class:`~repro.walks.engine.BatchedWalkEngine` materialize their results as
+:class:`Walk` instances with plain Python ``int`` node ids and ``float`` edge
+times, so downstream consumers (aggregation batching, skip-gram corpora) are
+agnostic to which path produced a walk and results can be compared with
+``==`` across paths.
+"""
 
 from __future__ import annotations
 
@@ -34,13 +42,21 @@ class Walk:
         return len(self.nodes)
 
     def node_time_sums(self, scale=None) -> np.ndarray:
-        """Per-position sum of timestamps of walk edges incident to that node.
+        """Per-position sum of timestamps of walk edges incident to that position.
 
-        This is the ``Σ_{(u,v) in r} t_(u,v)`` quantity of Eq. 3/4: each walk
-        edge contributes its timestamp to both endpoints, and repeat visits
-        accumulate (the paper's "interaction frequency").  ``scale`` maps raw
-        times onto ``[0, 1]`` (pass ``graph.scale_time``); static walks (no
-        edge times) return zeros.
+        This is the ``Σ_{(u,v) ∈ r} t_(u,v)`` quantity of Eq. 3/4: walk edge
+        ``i`` (connecting positions ``i`` and ``i + 1``) contributes its
+        timestamp to both endpoint *positions*, so the returned array has one
+        entry per visited position (length ``len(nodes)``), not per distinct
+        node — when a walk revisits a node, each visit keeps its own sum, and
+        the per-node accumulation of the paper's "interaction frequency"
+        happens downstream in the aggregation batching.
+
+        ``scale`` maps raw times onto ``[0, 1]`` before summing (pass
+        ``graph.scale_time``); ``None`` sums raw timestamps.  Static walks
+        (no edge times) return all zeros.  The output is independent of
+        whether the walk came from a sequential walker or a batched engine —
+        only ``nodes``/``edge_times`` matter.
         """
         sums = np.zeros(len(self.nodes), dtype=np.float64)
         for i, t in enumerate(self.edge_times):

@@ -7,6 +7,12 @@ in time — the defining constraint of continuous-time dynamic network
 embedding.  (Strict increase also prevents degenerate bouncing on the edge
 just traversed, which non-strict ordering would allow on tied timestamps.)
 Node selection at each step is uniform over the valid continuations.
+
+Stepping is delegated to the vectorized
+:class:`~repro.walks.engine.BatchedWalkEngine`: single-walk calls run a batch
+of one (bitwise identical to :meth:`CTDNEWalker.walk_from_edge_sequential`
+under the same RNG state) and ``corpus`` advances all start edges of a round
+in lockstep.
 """
 
 from __future__ import annotations
@@ -17,16 +23,24 @@ from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 from repro.walks.base import Walk
+from repro.walks.engine import BatchedWalkEngine
 
 
 class CTDNEWalker:
     """Uniform temporal walks that never move backwards in time."""
 
-    def __init__(self, graph: TemporalGraph):
+    def __init__(self, graph: TemporalGraph, engine: BatchedWalkEngine | None = None):
         self.graph = graph
+        self.engine = engine if engine is not None else BatchedWalkEngine(graph)
 
     def walk_from_edge(self, edge_id: int, length: int, rng=None) -> Walk:
         """Extend a time-respecting walk forward from the given starting edge."""
+        check_positive("length", length)
+        rng = ensure_rng(rng)
+        return self.engine.ctdne(np.array([edge_id]), length, rng)[0]
+
+    def walk_from_edge_sequential(self, edge_id: int, length: int, rng=None) -> Walk:
+        """The pre-engine per-walk loop (reference implementation)."""
         check_positive("length", length)
         rng = ensure_rng(rng)
         graph = self.graph
@@ -52,14 +66,16 @@ class CTDNEWalker:
         return Walk(nodes=nodes, edge_times=edge_times)
 
     def corpus(self, num_walks: int, length: int, rng=None) -> list[list[int]]:
-        """Sample ``num_walks`` walks from uniformly chosen initial edges."""
+        """Sample ``num_walks`` walks from uniformly chosen initial edges.
+
+        The start edges are drawn up front and the walks advance in one
+        lockstep batch.
+        """
         check_positive("num_walks", num_walks)
         rng = ensure_rng(rng)
-        m = self.graph.num_edges
-        sentences: list[list[int]] = []
-        for _ in range(num_walks):
-            e = int(rng.integers(m))
-            w = self.walk_from_edge(e, length, rng)
-            if len(w) > 1:
-                sentences.append(w.nodes)
-        return sentences
+        edges = rng.integers(self.graph.num_edges, size=num_walks)
+        return [
+            w.nodes
+            for w in self.engine.ctdne(edges, length, rng)
+            if len(w) > 1
+        ]

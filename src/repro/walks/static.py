@@ -1,8 +1,14 @@
 """Static random walks: DeepWalk (uniform) and node2vec (2nd-order, Eq. of [1]).
 
 These power the NODE2VEC baseline and the EHNA-RW ablation (which swaps the
-temporal walk for a plain static walk).  The node2vec walker caches an alias
-table per traversed ``(prev, cur)`` state, so repeated visits sample in O(1).
+temporal walk for a plain static walk).  Both walkers delegate stepping to the
+vectorized :class:`~repro.walks.engine.BatchedWalkEngine`: single-walk calls
+run a batch of one (bitwise identical to the ``walk_sequential`` reference
+loops under the same RNG state), and ``corpus`` generation advances a whole
+round of start nodes in lockstep.  The node2vec family memoizes per-state
+transition tables — packed first-order alias tables for every node built in
+one vectorized pass, plus per-``(prev, cur)`` tables built on first traversal
+— so repeated visits sample in O(1).
 """
 
 from __future__ import annotations
@@ -10,10 +16,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.alias import AliasTable
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 from repro.walks.base import Walk
+from repro.walks.engine import BatchedWalkEngine
 
 
 class UniformWalker:
@@ -23,26 +29,35 @@ class UniformWalker:
     nodes without historical interactions (Section IV.D).
     """
 
-    def __init__(self, graph: TemporalGraph):
+    def __init__(self, graph: TemporalGraph, engine: BatchedWalkEngine | None = None):
         self.graph = graph
-        self._nbrs = [graph.neighbors(v) for v in range(graph.num_nodes)]
+        self.engine = engine if engine is not None else BatchedWalkEngine(graph)
 
     def walk(self, start: int, length: int, rng=None) -> Walk:
-        """Sample one walk of at most ``length`` steps."""
+        """Sample one walk of at most ``length`` steps (engine batch of one)."""
         check_positive("length", length)
         rng = ensure_rng(rng)
+        return self.engine.uniform(np.array([start]), length, rng)[0]
+
+    def walk_sequential(self, start: int, length: int, rng=None) -> Walk:
+        """The pre-engine per-node loop (reference implementation)."""
+        check_positive("length", length)
+        rng = ensure_rng(rng)
+        graph = self.graph
         nodes = [int(start)]
         for _ in range(length):
-            nbrs = self._nbrs[nodes[-1]]
+            nbrs = graph.neighbors(nodes[-1])
             if nbrs.size == 0:
                 break
             nodes.append(int(nbrs[rng.integers(nbrs.size)]))
         return Walk(nodes=nodes)
 
     def walks(self, start: int, num_walks: int, length: int, rng=None) -> list[Walk]:
-        """Sample ``num_walks`` independent walks from ``start``."""
+        """Sample ``num_walks`` independent walks from ``start``, in lockstep."""
+        check_positive("num_walks", num_walks)
         rng = ensure_rng(rng)
-        return [self.walk(start, length, rng) for _ in range(num_walks)]
+        starts = np.full(num_walks, start, dtype=np.int64)
+        return self.engine.uniform(starts, length, rng)
 
 
 class Node2VecWalker:
@@ -58,79 +73,81 @@ class Node2VecWalker:
     multigraph, so repeat interactions count).
     """
 
-    def __init__(self, graph: TemporalGraph, p: float = 1.0, q: float = 1.0):
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        p: float = 1.0,
+        q: float = 1.0,
+        engine: BatchedWalkEngine | None = None,
+    ):
         check_positive("p", p)
         check_positive("q", q)
         self.graph = graph
         self.p = p
         self.q = q
-        # Distinct-neighbor adjacency with multiplicity as weight.
-        self._nbrs: list[np.ndarray] = []
-        self._w: list[np.ndarray] = []
-        for v in range(graph.num_nodes):
-            inc, _, _ = graph.incident(v)
-            nbrs, counts = np.unique(inc, return_counts=True)
-            self._nbrs.append(nbrs)
-            self._w.append(counts.astype(np.float64))
-        self._nbr_sets = [set(n.tolist()) for n in self._nbrs]
-        self._alias_cache: dict[tuple[int, int], AliasTable] = {}
-        self._first_alias: dict[int, AliasTable] = {}
+        if engine is None:
+            engine = BatchedWalkEngine(graph, p=p, q=q)
+        elif (engine.p, engine.q) != (float(p), float(q)):
+            # A mismatched engine would silently break the bitwise contract
+            # between walk() (engine parameters) and walk_sequential()
+            # (walker parameters).
+            raise ValueError(
+                f"injected engine's (p, q)=({engine.p}, {engine.q}) differ "
+                f"from the walker's ({p}, {q})"
+            )
+        self.engine = engine
 
-    def _first_step(self, cur: int, rng) -> int | None:
-        nbrs = self._nbrs[cur]
-        if nbrs.size == 0:
-            return None
-        table = self._first_alias.get(cur)
-        if table is None:
-            table = AliasTable(self._w[cur])
-            self._first_alias[cur] = table
-        return int(nbrs[table.sample(rng)])
-
-    def _next_step(self, prev: int, cur: int, rng) -> int | None:
-        nbrs = self._nbrs[cur]
-        if nbrs.size == 0:
-            return None
-        key = (prev, cur)
-        table = self._alias_cache.get(key)
-        if table is None:
-            bias = np.empty(nbrs.size, dtype=np.float64)
-            prev_nbrs = self._nbr_sets[prev]
-            for i, w in enumerate(nbrs):
-                if w == prev:
-                    bias[i] = 1.0 / self.p
-                elif int(w) in prev_nbrs:
-                    bias[i] = 1.0
-                else:
-                    bias[i] = 1.0 / self.q
-            table = AliasTable(bias * self._w[cur])
-            self._alias_cache[key] = table
-        return int(nbrs[table.sample(rng)])
+    @property
+    def _alias_cache(self) -> dict:
+        """The engine's memoized ``(prev, cur)`` transition tables."""
+        return self.engine._pair_cache
 
     def walk(self, start: int, length: int, rng=None) -> Walk:
         """Sample one node2vec walk of at most ``length`` steps."""
         check_positive("length", length)
         rng = ensure_rng(rng)
+        return self.engine.node2vec(np.array([start]), length, rng)[0]
+
+    def walk_sequential(self, start: int, length: int, rng=None) -> Walk:
+        """The pre-engine per-node loop (reference implementation).
+
+        Shares the engine's memoized alias tables, so it differs from
+        :meth:`walk` only in stepping one walk at a time.
+        """
+        check_positive("length", length)
+        rng = ensure_rng(rng)
+        eng = self.engine
+        dindptr, dnbr, _ = self.graph.distinct_csr()
         nodes = [int(start)]
-        nxt = self._first_step(nodes[0], rng)
-        if nxt is None:
+        n = dindptr[start + 1] - dindptr[start]
+        if n == 0:
             return Walk(nodes=nodes)
-        nodes.append(nxt)
+        local = int(eng._first_order_tables().sample(np.array([start]), rng)[0])
+        nodes.append(int(dnbr[dindptr[start] + local]))
         while len(nodes) < length + 1:
-            nxt = self._next_step(nodes[-2], nodes[-1], rng)
-            if nxt is None:
+            prev, cur = nodes[-2], nodes[-1]
+            n = int(dindptr[cur + 1] - dindptr[cur])
+            if n == 0:
                 break
-            nodes.append(nxt)
+            prob, alias = eng.pair_table(prev, cur)
+            i = int(rng.integers(n))
+            if rng.random() >= prob[i]:
+                i = int(alias[i])
+            nodes.append(int(dnbr[dindptr[cur] + i]))
         return Walk(nodes=nodes)
 
     def corpus(self, num_walks: int, length: int, rng=None) -> list[list[int]]:
-        """``num_walks`` walks per node in shuffled order (the usual corpus)."""
+        """``num_walks`` walks per node in shuffled order (the usual corpus).
+
+        Every round advances one walk per node in a single lockstep batch.
+        """
+        check_positive("num_walks", num_walks)
         rng = ensure_rng(rng)
         sentences: list[list[int]] = []
         order = np.arange(self.graph.num_nodes)
         for _ in range(num_walks):
             rng.shuffle(order)
-            for v in order:
-                w = self.walk(int(v), length, rng)
+            for w in self.engine.node2vec(order, length, rng):
                 if len(w) > 1:
                     sentences.append(w.nodes)
         return sentences

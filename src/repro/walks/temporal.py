@@ -18,6 +18,14 @@ Transition weights combine two factors:
 
 Walks may revisit nodes (the paper allows duplicates to fight sparsity) and
 terminate early when no historical edge remains.
+
+Sampling is delegated to the vectorized
+:class:`~repro.walks.engine.BatchedWalkEngine`: :meth:`TemporalWalker.walk`
+runs a batch of one, :meth:`TemporalWalker.walks` advances all ``k`` walks of
+a target in lockstep.  The pre-engine per-node loop survives as
+:meth:`TemporalWalker.walk_sequential` — it is the reference the engine is
+bitwise-checked against at batch size 1, and the baseline the walk-engine
+benchmark measures speedups over.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative, check_positive
 from repro.walks.base import Walk
+from repro.walks.engine import BatchedWalkEngine
 
 
 class TemporalWalker:
@@ -46,9 +55,18 @@ class TemporalWalker:
         Rate of the exponential time-decay kernel on the normalized time
         scale; 0 disables temporal preference (ablation EHNA-RW pairs this
         with ignoring the historical constraint).
+    engine:
+        Optional shared :class:`BatchedWalkEngine`; one is built when omitted.
     """
 
-    def __init__(self, graph: TemporalGraph, p: float = 1.0, q: float = 1.0, decay: float = 1.0):
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        p: float = 1.0,
+        q: float = 1.0,
+        decay: float = 1.0,
+        engine: BatchedWalkEngine | None = None,
+    ):
         check_positive("p", p)
         check_positive("q", q)
         check_non_negative("decay", decay)
@@ -56,9 +74,19 @@ class TemporalWalker:
         self.p = p
         self.q = q
         self.decay = decay
+        if engine is None:
+            engine = BatchedWalkEngine(graph, p=p, q=q, decay=decay)
+        elif (engine.p, engine.q, engine.decay) != (float(p), float(q), float(decay)):
+            # A mismatched engine would silently break the bitwise contract
+            # between walk() (engine parameters) and walk_sequential()
+            # (walker parameters).
+            raise ValueError(
+                "injected engine's (p, q, decay)="
+                f"({engine.p}, {engine.q}, {engine.decay}) differ from the "
+                f"walker's ({p}, {q}, {decay})"
+            )
+        self.engine = engine
         self._times01 = graph.times01()
-        # Sorted distinct-neighbor arrays for vectorized Eq. 2 lookups.
-        self._nbrs_sorted = [graph.neighbors(v) for v in range(graph.num_nodes)]
 
     # ------------------------------------------------------------------
     def _kernel(self, t_context01: float, edge_ids: np.ndarray, weights: np.ndarray) -> np.ndarray:
@@ -68,7 +96,7 @@ class TemporalWalker:
 
     def _beta(self, prev: int, candidates: np.ndarray) -> np.ndarray:
         """Eq. 2 search bias for each candidate next node (vectorized)."""
-        nbrs = self._nbrs_sorted[prev]
+        nbrs = self.graph.neighbors(prev)
         pos = np.searchsorted(nbrs, candidates)
         pos = np.minimum(pos, nbrs.size - 1) if nbrs.size else pos
         adjacent = (
@@ -98,6 +126,29 @@ class TemporalWalker:
         own historical neighborhood.  The final per-node aggregation pass
         (Section IV.D, "with its most recent edge") passes ``True`` so the
         node's latest interaction is part of its neighborhood.
+
+        Delegates to the batched engine with a batch of one, which consumes
+        the RNG stream exactly like :meth:`walk_sequential`.
+        """
+        check_positive("length", length)
+        rng = ensure_rng(rng)
+        return self.engine.temporal(
+            np.array([start]), np.array([t_context]), length, rng, include_context
+        )[0]
+
+    def walk_sequential(
+        self,
+        start: int,
+        t_context: float,
+        length: int,
+        rng=None,
+        include_context: bool = False,
+    ) -> Walk:
+        """The pre-engine per-node loop (reference implementation).
+
+        Semantics match :meth:`walk` bit for bit under the same RNG state;
+        kept as the bitwise ground truth for the engine's batch-size-1
+        contract and as the benchmark baseline.
         """
         check_positive("length", length)
         rng = ensure_rng(rng)
@@ -140,10 +191,14 @@ class TemporalWalker:
         rng=None,
         include_context: bool = False,
     ) -> list[Walk]:
-        """Sample ``num_walks`` independent walks (the paper's ``k``)."""
+        """Sample ``num_walks`` independent walks (the paper's ``k``).
+
+        All ``k`` walks advance together in one lockstep batch.
+        """
         check_positive("num_walks", num_walks)
         rng = ensure_rng(rng)
-        return [
-            self.walk(start, t_context, length, rng, include_context=include_context)
-            for _ in range(num_walks)
-        ]
+        starts = np.full(num_walks, start, dtype=np.int64)
+        anchors = np.full(num_walks, t_context, dtype=np.float64)
+        return self.engine.temporal(
+            starts, anchors, length, rng, include_context=include_context
+        )

@@ -182,3 +182,45 @@ class TestSlicing:
     def test_edge_tuples_subset(self, path_graph):
         tuples = path_graph.edge_tuples([0, 2])
         assert tuples == [(0, 1, 1.0), (2, 3, 3.0)]
+
+
+class TestCSRAccessors:
+    def test_incidence_csr_matches_incident(self, tiny_graph):
+        indptr, nbr, times, weights, eids = tiny_graph.incidence_csr()
+        assert indptr[-1] == 2 * tiny_graph.num_edges
+        for v in range(tiny_graph.num_nodes):
+            ref_nbr, ref_t, ref_e = tiny_graph.incident(v)
+            lo, hi = indptr[v], indptr[v + 1]
+            np.testing.assert_array_equal(nbr[lo:hi], ref_nbr)
+            np.testing.assert_array_equal(times[lo:hi], ref_t)
+            np.testing.assert_array_equal(eids[lo:hi], ref_e)
+            np.testing.assert_array_equal(weights[lo:hi], tiny_graph.weight[ref_e])
+
+    def test_incidence_slices_time_sorted(self, sbm_graph):
+        indptr, _, times, _, _ = sbm_graph.incidence_csr()
+        for v in range(sbm_graph.num_nodes):
+            assert np.all(np.diff(times[indptr[v] : indptr[v + 1]]) >= 0)
+
+    def test_distinct_csr_matches_unique(self, sbm_graph):
+        dindptr, dnbr, mult = sbm_graph.distinct_csr()
+        inc_indptr, inc_nbr, _, _, _ = sbm_graph.incidence_csr()
+        for v in range(sbm_graph.num_nodes):
+            inc = inc_nbr[inc_indptr[v] : inc_indptr[v + 1]]
+            ref, ref_counts = np.unique(inc, return_counts=True)
+            np.testing.assert_array_equal(dnbr[dindptr[v] : dindptr[v + 1]], ref)
+            np.testing.assert_array_equal(mult[dindptr[v] : dindptr[v + 1]], ref_counts)
+
+    def test_distinct_neighbor_counts_consistent(self, sbm_graph):
+        counts = sbm_graph.distinct_neighbor_counts()
+        for v in range(sbm_graph.num_nodes):
+            assert counts[v] == sbm_graph.neighbors(v).size
+
+    def test_scale_times_matches_scalar(self, sbm_graph):
+        ts = np.linspace(*sbm_graph.time_span, 13)
+        scaled = sbm_graph.scale_times(ts)
+        for t, s in zip(ts, scaled):
+            assert s == sbm_graph.scale_time(float(t))
+
+    def test_scale_times_constant_graph(self):
+        g = make([(0, 1, 2.0), (1, 2, 2.0)])
+        np.testing.assert_array_equal(g.scale_times([2.0, 2.0]), [0.0, 0.0])

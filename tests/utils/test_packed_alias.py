@@ -1,0 +1,108 @@
+"""Tests for the vectorized multi-table alias construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import PackedAliasTables, build_alias_tables, ensure_rng
+
+
+def _csr(segment_weights):
+    sizes = [len(s) for s in segment_weights]
+    indptr = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+    flat = np.concatenate([np.asarray(s, dtype=np.float64) for s in segment_weights if len(s)]) \
+        if any(sizes) else np.empty(0)
+    return flat, indptr
+
+
+class TestConstruction:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            build_alias_tables(np.array([1.0, -0.5]), np.array([0, 2]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            build_alias_tables(np.array([1.0, np.nan]), np.array([0, 2]))
+
+    def test_rejects_zero_sum_segment(self):
+        with pytest.raises(ValueError):
+            build_alias_tables(np.array([1.0, 0.0, 0.0]), np.array([0, 1, 3]))
+
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(ValueError):
+            build_alias_tables(np.array([1.0, 2.0]), np.array([0, 1]))
+
+    def test_empty_segments_allowed(self):
+        packed = PackedAliasTables(np.array([1.0, 3.0]), np.array([0, 0, 2, 2]))
+        assert len(packed) == 3
+        np.testing.assert_array_equal(packed.table_sizes(), [0, 2, 0])
+
+    def test_alias_stays_inside_segment(self):
+        rng = np.random.default_rng(0)
+        sizes = [3, 7, 1, 12, 5]
+        indptr = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        w = rng.random(indptr[-1]) + 1e-3
+        _, alias = build_alias_tables(w, indptr)
+        for s in range(len(sizes)):
+            seg = alias[indptr[s] : indptr[s + 1]]
+            assert np.all(seg >= indptr[s]) and np.all(seg < indptr[s + 1])
+
+
+class TestDecomposition:
+    @given(
+        st.lists(
+            st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=20),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reconstructed_probabilities_exact(self, segments):
+        """Every segment's alias decomposition reproduces its distribution."""
+        flat, indptr = _csr(segments)
+        packed = PackedAliasTables(flat, indptr)
+        for s, seg in enumerate(segments):
+            w = np.asarray(seg)
+            np.testing.assert_allclose(
+                packed.probabilities(s), w / w.sum(), atol=1e-9
+            )
+
+
+class TestSampling:
+    def test_empirical_distribution(self):
+        w = np.array([1.0, 2.0, 7.0, 5.0, 5.0])
+        packed = PackedAliasTables(w, np.array([0, 3, 5]))
+        draws = packed.sample(np.zeros(60_000, dtype=np.int64), ensure_rng(42))
+        freq = np.bincount(draws, minlength=3) / draws.size
+        np.testing.assert_allclose(freq, w[:3] / w[:3].sum(), atol=0.02)
+        draws = packed.sample(np.ones(10_000, dtype=np.int64), ensure_rng(0))
+        np.testing.assert_allclose(
+            np.bincount(draws, minlength=2) / draws.size, [0.5, 0.5], atol=0.03
+        )
+
+    def test_mixed_rows_in_one_batch(self):
+        w = np.array([1.0, 1.0, 1.0, 9.0])
+        packed = PackedAliasTables(w, np.array([0, 2, 4]))
+        rows = np.array([0, 1, 0, 1, 1])
+        draws = packed.sample(rows, ensure_rng(3))
+        assert draws.shape == (5,)
+        assert np.all(draws >= 0)
+        assert np.all(draws < 2)
+
+    def test_zero_weight_never_sampled(self):
+        packed = PackedAliasTables(np.array([0.0, 1.0, 0.0]), np.array([0, 3]))
+        draws = packed.sample(np.zeros(2000, dtype=np.int64), ensure_rng(1))
+        assert set(np.unique(draws)) == {1}
+
+    def test_sampling_empty_table_raises(self):
+        packed = PackedAliasTables(np.array([1.0]), np.array([0, 0, 1]))
+        with pytest.raises(ValueError):
+            packed.sample(np.array([0]), ensure_rng(0))
+
+    def test_deterministic_given_seed(self):
+        packed = PackedAliasTables(np.array([1.0, 2.0, 3.0]), np.array([0, 3]))
+        rows = np.zeros(50, dtype=np.int64)
+        a = packed.sample(rows, ensure_rng(9))
+        b = packed.sample(rows, ensure_rng(9))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fail when README code blocks drift from the files they mirror.
+
+The README's quickstart section embeds ``examples/quickstart.py`` verbatim
+(the README promises it "runs as-is").  This checker extracts the first
+fenced ``python`` block after the quickstart heading and requires it to match
+the example file character for character (modulo a single trailing newline).
+
+Run directly or via ``make docs-check``; exits non-zero on drift so CI and
+pre-commit hooks can gate on it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: (README heading, fence language, mirrored file) triples to keep in sync.
+MIRRORS = [
+    ("## 60-second quickstart", "python", "examples/quickstart.py"),
+]
+
+
+def extract_block(readme: str, heading: str, lang: str) -> str | None:
+    """The first ``lang`` fence after ``heading``, or None."""
+    at = readme.find(heading)
+    if at < 0:
+        return None
+    match = re.search(rf"```{lang}\n(.*?)```", readme[at:], flags=re.DOTALL)
+    return match.group(1) if match else None
+
+
+def main() -> int:
+    readme_path = ROOT / "README.md"
+    if not readme_path.exists():
+        print("docs-check: README.md is missing", file=sys.stderr)
+        return 1
+    readme = readme_path.read_text()
+
+    failures = 0
+    for heading, lang, rel in MIRRORS:
+        block = extract_block(readme, heading, lang)
+        source_path = ROOT / rel
+        if block is None:
+            print(
+                f"docs-check: no ```{lang} block found after {heading!r} in README.md",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        if not source_path.exists():
+            print(f"docs-check: {rel} is missing", file=sys.stderr)
+            failures += 1
+            continue
+        source = source_path.read_text()
+        if block.rstrip("\n") != source.rstrip("\n"):
+            block_lines = block.rstrip("\n").splitlines()
+            src_lines = source.rstrip("\n").splitlines()
+            line = next(
+                (
+                    i + 1
+                    for i, (a, b) in enumerate(zip(block_lines, src_lines))
+                    if a != b
+                ),
+                min(len(block_lines), len(src_lines)) + 1,
+            )
+            print(
+                f"docs-check: README block under {heading!r} drifted from {rel} "
+                f"(first difference at line {line})",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"docs-check: README quickstart matches {rel}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
