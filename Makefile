@@ -4,11 +4,20 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-all docs-check quickstart
+.PHONY: test bench bench-all docs-check quickstart lint api-check
 
-## Tier-1 test suite (the gate every change must keep green).
-test:
+## Tier-1 test suite (the gate every change must keep green).  Runs the
+## protocol-v2 surface check and the (ruff-when-available) linter first.
+test: api-check lint
 	$(PY) -m pytest -x -q
+
+## Assert every EmbeddingMethod subclass implements the v2 API surface.
+api-check:
+	$(PY) tools/check_api.py
+
+## ruff check (pinned version; skips cleanly when ruff is unavailable).
+lint:
+	$(PY) tools/check_lint.py
 
 ## Fast walk-engine benchmark (asserts the >=5x batched speedup).
 bench:

@@ -1,0 +1,102 @@
+"""Streaming-update benchmark: ``partial_fit`` vs. refit-from-scratch.
+
+The serving story of the v2 method protocol hinges on incremental updates
+being worth it: when a tranche of edges arrives, extending the graph and
+training on the fresh events alone must be *faster* than refitting on the
+full history while producing embeddings that are just as useful.
+
+Protocol (three-way chronological split of the DBLP stand-in):
+
+1. the oldest 64% of edges are the **base** history, the next 16% are the
+   **stream**, and the newest 20% are held out as future links for the
+   Section V.E evaluation (positives vs. never-connected negatives, scored
+   by ``-||e_u - e_v||²``);
+2. **incremental**: fit EHNA on the base graph, then time
+   ``partial_fit(stream)`` with the same epoch budget;
+3. **refit**: time a fresh ``fit`` on base+stream;
+4. assert the update is faster than the refit and its link-prediction AUC
+   matches within noise (``AUC_TOLERANCE``).
+
+Saves the comparison table under ``benchmarks/results/``.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_partial_fit.py -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import EHNA
+from repro.datasets import load
+from repro.eval.link_prediction import holdout_pairs, sample_negative_pairs
+from repro.eval.metrics import auc_score
+
+CFG = dict(
+    dim=16, epochs=2, num_walks=3, walk_length=4, batch_size=32, num_negatives=2
+)
+#: Incremental and refit runs must land within this AUC gap ("within noise"
+#: at this laptop scale, where seed-to-seed spread is of the same order).
+AUC_TOLERANCE = 0.15
+
+
+def _distance_auc(emb: np.ndarray, positives: np.ndarray, negatives: np.ndarray) -> float:
+    """AUC of the negative squared distance as a link score."""
+    pairs = np.vstack([positives, negatives])
+    diff = emb[pairs[:, 0]] - emb[pairs[:, 1]]
+    scores = -np.einsum("nd,nd->n", diff, diff)
+    labels = np.zeros(pairs.shape[0], dtype=bool)
+    labels[: positives.shape[0]] = True
+    return auc_score(labels, scores)
+
+
+def test_partial_fit_beats_refit(save_result):
+    full = load("dblp", scale=0.3, seed=5)
+    # Newest 20%: future links for evaluation (never shown to either model).
+    train_graph, positives = holdout_pairs(full, fraction=0.2)
+    negatives = sample_negative_pairs(full, positives.shape[0], rng=0)
+    # Next-newest 16% of the full timeline: the streamed tranche.
+    base, stream_ids = train_graph.split_recent(0.2)
+    stream = (
+        train_graph.src[stream_ids],
+        train_graph.dst[stream_ids],
+        train_graph.time[stream_ids],
+        train_graph.weight[stream_ids],
+    )
+
+    incremental = EHNA(seed=0, **CFG)
+    t0 = time.perf_counter()
+    incremental.fit(base)
+    base_fit_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    incremental.partial_fit(stream, epochs=CFG["epochs"])
+    update_s = time.perf_counter() - t0
+
+    refit = EHNA(seed=0, **CFG)
+    t0 = time.perf_counter()
+    refit.fit(train_graph)
+    refit_s = time.perf_counter() - t0
+
+    assert incremental.graph.num_edges == train_graph.num_edges
+    auc_update = _distance_auc(incremental.embeddings(), positives, negatives)
+    auc_refit = _distance_auc(refit.embeddings(), positives, negatives)
+
+    lines = [
+        "partial_fit vs. refit (Table-1 DBLP stand-in, 64/16/20 split)",
+        f"{'path':<22} {'wall-clock':>12} {'AUC':>7}",
+        f"{'fit(base)':<22} {base_fit_s * 1e3:>10.0f}ms {'':>7}",
+        f"{'partial_fit(stream)':<22} {update_s * 1e3:>10.0f}ms {auc_update:>7.3f}",
+        f"{'refit(base+stream)':<22} {refit_s * 1e3:>10.0f}ms {auc_refit:>7.3f}",
+        f"update speedup over refit: {refit_s / update_s:.1f}x",
+    ]
+    save_result("bench_partial_fit", "\n".join(lines))
+
+    assert update_s < refit_s, (
+        f"partial_fit ({update_s:.2f}s) must beat refit ({refit_s:.2f}s)"
+    )
+    assert abs(auc_update - auc_refit) <= AUC_TOLERANCE, (
+        f"incremental AUC {auc_update:.3f} drifted from refit AUC "
+        f"{auc_refit:.3f} by more than {AUC_TOLERANCE}"
+    )

@@ -11,7 +11,7 @@ Run:  python examples/coauthor_link_prediction.py
 import numpy as np
 
 from repro.baselines import CTDNE, HTNE, LINE, Node2Vec
-from repro.core import EHNA
+from repro.core import EHNA, EarlyStopping, VerboseCallback
 from repro.datasets import load
 from repro.eval import evaluate_all_operators, prepare_link_prediction
 
@@ -30,7 +30,14 @@ def main() -> None:
         "Node2Vec": Node2Vec(dim=32, num_walks=6, walk_length=15, epochs=2, seed=0),
         "CTDNE": CTDNE(dim=32, walks_per_node=6, walk_length=15, epochs=2, seed=0),
         "HTNE": HTNE(dim=32, epochs=4, seed=0),
-        "EHNA": EHNA(dim=32, epochs=3, seed=0),
+        # The shared trainer's callback hook handles epoch logging and
+        # early stopping — no changes to the training loop required.
+        "EHNA": EHNA(
+            dim=32,
+            epochs=5,
+            seed=0,
+            callbacks=(VerboseCallback(), EarlyStopping(patience=2)),
+        ),
     }
 
     print(f"{'method':10s} {'operator':12s} {'AUC':>7s} {'F1':>7s} "

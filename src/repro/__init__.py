@@ -3,6 +3,9 @@ Neighborhoods Aggregation (ICDE 2020) — full reproduction.
 
 Public API tour:
 
+- :class:`repro.base.EmbeddingMethod` — the v2 method protocol every model
+  speaks: ``fit`` / ``encode(nodes, at=times)`` / ``partial_fit(edges)`` /
+  ``save``/``load`` checkpointing;
 - :class:`repro.graph.TemporalGraph` — the timestamped-network substrate;
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's four datasets;
 - :class:`repro.core.EHNA` — the paper's model (plus Table VII ablations);

@@ -1,25 +1,122 @@
-"""The common interface all embedding methods implement.
+"""The common interface all embedding methods implement (protocol v2).
 
 EHNA and every baseline (Node2Vec, CTDNE, LINE, HTNE) expose the same
-``fit`` / ``embeddings`` protocol so the evaluation harnesses (network
-reconstruction, link prediction, efficiency study) can treat them uniformly —
-exactly how Section V compares them "on an equal footing".
+surface so the evaluation harnesses (network reconstruction, link
+prediction, efficiency study) can treat them uniformly — exactly how
+Section V compares them "on an equal footing" — and so a trained model can
+be *served*: asked for an embedding of any node as of any time, updated
+with arriving edges, and persisted to disk.
+
+The v2 lifecycle::
+
+    fit(graph) ──► encode(nodes, at=times)   time-anchored inference
+              │    embeddings()              = encode(all, at=last event)
+              │
+              ├─► partial_fit(edges)         append streamed events, train
+              │                              incrementally, stay servable
+              │
+              └─► save(path) ──► load(path)  versioned npz checkpoint
+                                             (config + RNG + parameters)
+
+Subclasses implement ``fit``/``embeddings`` plus four small hooks —
+``_config_dict``, ``_state_dict``, ``_load_state_dict`` and
+``_apply_partial_fit`` — and inherit the checkpoint plumbing and the
+``partial_fit`` graph-extension path from this base class.  Time-invariant
+methods (the static and table-producing baselines) inherit the default
+``encode``, which documents and implements their semantics: the anchor time
+is ignored and the post-training table row is returned.  EHNA overrides
+``encode`` to run its aggregator at the requested anchors.
 """
 
 from __future__ import annotations
 
 import abc
+from pathlib import Path
 
 import numpy as np
 
 from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_rng,
+    rng_state,
+    save_checkpoint,
+)
+
+
+def parse_edge_batch(edges):
+    """Normalize a streamed-edge batch into ``(src, dst, time, weight)``.
+
+    Two layouts are accepted, disambiguated by type (a 3-edge batch of rows
+    would otherwise be indistinguishable from three parallel columns):
+
+    - a **tuple** of parallel column arrays ``(src, dst, time)`` or
+      ``(src, dst, time, weight)``;
+    - anything else (list, ndarray): a 2-D row matrix of shape ``(n, 3)`` /
+      ``(n, 4)`` whose columns are ``u, v, t[, w]``.
+    """
+    if isinstance(edges, tuple):
+        if len(edges) not in (3, 4):
+            raise ValueError(
+                "a tuple edge batch must be (src, dst, time) or "
+                f"(src, dst, time, weight), got {len(edges)} elements"
+            )
+        src, dst, time = edges[0], edges[1], edges[2]
+        weight = edges[3] if len(edges) == 4 else None
+        return src, dst, time, weight
+    if (
+        isinstance(edges, list)
+        and len(edges) in (3, 4)
+        and all(isinstance(e, np.ndarray) and e.ndim == 1 for e in edges)
+    ):
+        # A list of 3-4 ndarrays is almost certainly columns mistyped as a
+        # list; silently transposing it into "rows" would corrupt the graph
+        # whenever the arrays happen to have length 3 or 4.
+        raise ValueError(
+            "ambiguous edge batch: pass column arrays as a tuple "
+            "(src, dst, time[, weight]), or rows as an (n, 3)/(n, 4) matrix"
+        )
+    arr = np.asarray(edges, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] not in (3, 4):
+        raise ValueError(
+            "edges must be a (src, dst, time[, weight]) tuple of arrays or an "
+            f"(n, 3)/(n, 4) row matrix, got shape {getattr(arr, 'shape', None)}"
+        )
+    weight = arr[:, 3] if arr.shape[1] == 4 else None
+    return arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2], weight
+
+
+def resolve_anchors(graph: TemporalGraph, nodes: np.ndarray, at) -> list:
+    """Per-node anchor times for ``encode(nodes, at)``.
+
+    ``at`` may be ``None`` (each node's last event time — the
+    ``embeddings()`` anchor; isolated nodes get ``None``), a scalar applied
+    to every node, or a sequence aligned with ``nodes`` (entries may be
+    ``None`` to request the historyless fallback).
+    """
+    if at is None:
+        return [graph.last_event_time(int(v)) for v in nodes]
+    if isinstance(at, (int, float, np.integer, np.floating)):
+        return [float(at)] * nodes.size
+    anchors = list(at)
+    if len(anchors) != nodes.size:
+        raise ValueError(
+            f"at has {len(anchors)} entries for {nodes.size} nodes; pass a "
+            "scalar, None, or one anchor per node"
+        )
+    return [None if t is None else float(t) for t in anchors]
 
 
 class EmbeddingMethod(abc.ABC):
-    """A node-embedding learner over a temporal network."""
+    """A node-embedding learner over a temporal network (protocol v2)."""
 
     #: Human-readable name used in result tables.
     name: str = "method"
+
+    #: The graph most recently passed to ``fit`` / produced by
+    #: ``partial_fit`` (set by subclasses' ``fit``; ``None`` before).
+    graph: TemporalGraph | None = None
 
     @abc.abstractmethod
     def fit(self, graph: TemporalGraph) -> "EmbeddingMethod":
@@ -32,3 +129,157 @@ class EmbeddingMethod(abc.ABC):
     def embedding_of(self, node: int) -> np.ndarray:
         """Convenience accessor for a single node's vector."""
         return self.embeddings()[node]
+
+    # ------------------------------------------------------------------
+    # v2: time-anchored inference
+    # ------------------------------------------------------------------
+    def encode(self, nodes, at=None) -> np.ndarray:
+        """Embed ``nodes`` as of anchor time(s) ``at``; returns ``(n, dim)``.
+
+        **Time-invariance note:** this default implementation serves the
+        post-training embedding table regardless of ``at`` — correct for the
+        static baselines (node2vec, DeepWalk, LINE ignore time entirely)
+        and the honest answer for table-producing temporal baselines (CTDNE,
+        HTNE), whose training consumed time but whose output is one frozen
+        vector per node.  EHNA overrides this to aggregate each node's
+        historical neighborhood *up to* ``at``, so the same node yields
+        different embeddings at different anchors.
+        """
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        # Validate the anchor spec even though the table ignores it, so
+        # malformed serving requests fail identically across methods
+        # (at=None is trivially valid and skips the per-node resolution).
+        if at is not None and self.graph is not None:
+            resolve_anchors(self.graph, nodes, at)
+        return self.embeddings()[nodes]
+
+    # ------------------------------------------------------------------
+    # v2: incremental training
+    # ------------------------------------------------------------------
+    def partial_fit(
+        self, edges, num_nodes: int | None = None, epochs: int | None = None
+    ) -> "EmbeddingMethod":
+        """Append streamed ``edges`` to the graph and train incrementally.
+
+        ``edges`` is parsed by :func:`parse_edge_batch`.  The temporal graph
+        is extended (new nodes grow the embedding space), and the method
+        runs ``epochs`` incremental training epochs over the *fresh* events
+        only — no refit from scratch.  Requires a previous ``fit``.
+        """
+        if self.graph is None:
+            raise RuntimeError("call fit() before partial_fit()")
+        src, dst, time, weight = parse_edge_batch(edges)
+        new_graph, fresh = self.graph.extend(
+            src, dst, time, weight, num_nodes=num_nodes
+        )
+        if fresh.size == 0:
+            return self
+        self.graph = new_graph  # in place before the hook runs
+        self._apply_partial_fit(new_graph, fresh, epochs)
+        return self
+
+    def _apply_partial_fit(
+        self, graph: TemporalGraph, fresh_edge_ids: np.ndarray, epochs: int | None
+    ) -> None:
+        """Subclass hook: absorb ``graph`` (the extended network, already
+        assigned to ``self.graph``) by training on ``fresh_edge_ids`` and
+        updating any graph-derived state."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement incremental training"
+        )
+
+    # ------------------------------------------------------------------
+    # v2: checkpointing
+    # ------------------------------------------------------------------
+    #: Keys the base class reserves in the checkpoint array namespace.
+    _GRAPH_KEYS = ("graph/src", "graph/dst", "graph/time", "graph/weight")
+
+    def save(self, path) -> Path:
+        """Persist config, RNG state, graph and parameters to a ``.npz``.
+
+        The archive carries a versioned header (see
+        :mod:`repro.utils.checkpoint`); :meth:`load` refuses mismatched
+        versions with a clear error.  Returns the resolved path.
+        """
+        arrays, meta = self._state_dict()
+        arrays = dict(arrays)
+        meta = dict(meta)
+        meta["name"] = self.name
+        meta["rng_state"] = rng_state(self._rng)
+        if self.graph is not None:
+            arrays["graph/src"] = self.graph.src
+            arrays["graph/dst"] = self.graph.dst
+            arrays["graph/time"] = self.graph.time
+            arrays["graph/weight"] = self.graph.weight
+            meta["graph_num_nodes"] = self.graph.num_nodes
+        return save_checkpoint(
+            path, type(self).__name__, self._config_dict(), arrays, meta
+        )
+
+    @classmethod
+    def load(cls, path) -> "EmbeddingMethod":
+        """Rebuild a trained method from :meth:`save` output.
+
+        Callable on the base class (dispatches to the recorded subclass) or
+        on a concrete class (which then must match the checkpoint).
+        """
+        ck = load_checkpoint(path)
+        klass = _find_method_class(ck.class_name)
+        if klass is None:
+            raise CheckpointError(
+                f"checkpoint was written by unknown method class {ck.class_name!r}"
+            )
+        if cls is not EmbeddingMethod and not issubclass(klass, cls):
+            raise CheckpointError(
+                f"checkpoint holds a {ck.class_name}, not a {cls.__name__}; "
+                f"load it via {ck.class_name}.load(...)"
+            )
+        model = klass._from_config(ck.config)
+        meta = dict(ck.meta)
+        arrays = dict(ck.arrays)
+        if all(k in arrays for k in cls._GRAPH_KEYS):
+            model.graph = TemporalGraph(
+                int(meta["graph_num_nodes"]),
+                arrays.pop("graph/src"),
+                arrays.pop("graph/dst"),
+                arrays.pop("graph/time"),
+                arrays.pop("graph/weight"),
+            )
+        model._rng = restore_rng(meta["rng_state"])
+        model.name = meta.get("name", klass.name)
+        model._load_state_dict(arrays, meta)
+        return model
+
+    @classmethod
+    def _from_config(cls, config: dict) -> "EmbeddingMethod":
+        """Construct an untrained instance from :meth:`_config_dict` output."""
+        return cls(**config)
+
+    def _config_dict(self) -> dict:
+        """Subclass hook: JSON-serializable constructor kwargs."""
+        raise NotImplementedError(f"{type(self).__name__} lacks _config_dict")
+
+    def _state_dict(self) -> tuple[dict, dict]:
+        """Subclass hook: ``(arrays, meta)`` capturing all trained state."""
+        raise NotImplementedError(f"{type(self).__name__} lacks _state_dict")
+
+    def _load_state_dict(self, arrays: dict, meta: dict) -> None:
+        """Subclass hook: restore trained state (``self.graph`` and
+        ``self._rng`` are already in place when this runs)."""
+        raise NotImplementedError(f"{type(self).__name__} lacks _load_state_dict")
+
+
+def _find_method_class(name: str):
+    """Locate the concrete :class:`EmbeddingMethod` subclass called ``name``."""
+    # Checkpoints may be loaded before the method modules were imported;
+    # pull in the standard roster so __subclasses__ can see it.
+    import repro.baselines  # noqa: F401
+    import repro.core.model  # noqa: F401
+
+    stack = list(EmbeddingMethod.__subclasses__())
+    while stack:
+        klass = stack.pop()
+        if klass.__name__ == name:
+            return klass
+        stack.extend(klass.__subclasses__())
+    return None

@@ -24,8 +24,10 @@ import numpy as np
 
 from repro.base import EmbeddingMethod
 from repro.baselines.skipgram import _sigmoid, degree_noise_weights
+from repro.core.trainer import Trainer
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.alias import AliasTable
+from repro.utils.checkpoint import CheckpointError
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 
@@ -62,22 +64,28 @@ class HTNE(EmbeddingMethod):
         self.init_decay = init_decay
         self.clip = clip
         self._rng = ensure_rng(seed)
+        self.graph: TemporalGraph | None = None
         self._emb: np.ndarray | None = None
         self.decay: float = init_decay
+        self.loss_history: list[float] = []
 
     # ------------------------------------------------------------------
-    def _build_events(self, graph: TemporalGraph):
+    def _build_events(self, graph: TemporalGraph, edge_ids=None):
         """Neighborhood-formation events with padded per-source histories.
 
         Every directed view ``x -> y`` of each edge is an event; its history
         is the (up to ``history_length``) most recent earlier neighbors of
-        ``x`` on the [0, 1] time scale.
+        ``x`` on the [0, 1] time scale.  ``edge_ids`` restricts the event
+        construction to a subset of edges (the incremental-training path);
+        histories still look back over the *whole* graph.
         """
         h = self.history_length
         times01 = graph.times01()
         events_x, events_y, events_t = [], [], []
         hist_ids, hist_t, hist_mask = [], [], []
-        for e in range(graph.num_edges):
+        if edge_ids is None:
+            edge_ids = range(graph.num_edges)
+        for e in edge_ids:
             t_raw = float(graph.time[e])
             t01 = float(times01[e])
             for x, y in ((int(graph.src[e]), int(graph.dst[e])),
@@ -106,32 +114,56 @@ class HTNE(EmbeddingMethod):
             np.stack(hist_mask),
         )
 
-    def fit(self, graph: TemporalGraph) -> "HTNE":
+    def fit(self, graph: TemporalGraph, callbacks=()) -> "HTNE":
         rng = self._rng
         n = graph.num_nodes
         bound = 0.5 / self.dim
-        emb = rng.uniform(-bound, bound, size=(n, self.dim))
+        self.graph = graph
+        self._emb = rng.uniform(-bound, bound, size=(n, self.dim))
         self.decay = float(self.init_decay)
-        noise = AliasTable(degree_noise_weights(graph.degrees()))
-
-        ex, ey, et, hid, ht, hmask = self._build_events(graph)
-        order = np.arange(ex.size)
-        self.loss_history: list[float] = []
-        for _ in range(self.epochs):
-            rng.shuffle(order)
-            losses = []
-            for lo in range(0, order.size, self.batch_size):
-                idx = order[lo : lo + self.batch_size]
-                negs = noise.sample(rng, size=(idx.size, self.num_negatives))
-                losses.append(
-                    self._step(
-                        emb, ex[idx], ey[idx], et[idx],
-                        hid[idx], ht[idx], hmask[idx], negs,
-                    )
-                )
-            self.loss_history.append(float(np.mean(losses)))
-        self._emb = emb
+        self.loss_history = self._train_events(graph, None, self.epochs, callbacks)
         return self
+
+    def _train_events(
+        self, graph: TemporalGraph, edge_ids, epochs: int, callbacks=()
+    ) -> list[float]:
+        """Shared-trainer epochs over the (restricted) formation events."""
+        rng = self._rng
+        noise = AliasTable(degree_noise_weights(graph.degrees()))
+        ex, ey, et, hid, ht, hmask = self._build_events(graph, edge_ids)
+
+        def step(idx):
+            negs = noise.sample(rng, size=(idx.size, self.num_negatives))
+            return self._step(
+                self._emb, ex[idx], ey[idx], et[idx],
+                hid[idx], ht[idx], hmask[idx], negs,
+            )
+
+        trainer = Trainer(
+            epochs=epochs,
+            batch_size=self.batch_size,
+            rng=rng,
+            callbacks=callbacks,
+            name=self.name,
+        )
+        return trainer.run(step, num_items=ex.size)
+
+    def _apply_partial_fit(
+        self, graph: TemporalGraph, fresh_edge_ids: np.ndarray, epochs: int | None
+    ) -> None:
+        if self._emb is None:
+            raise RuntimeError("call fit() before partial_fit()")
+        extra = graph.num_nodes - self._emb.shape[0]
+        if extra > 0:
+            bound = 0.5 / self.dim
+            self._emb = np.vstack(
+                [self._emb, self._rng.uniform(-bound, bound, size=(extra, self.dim))]
+            )
+        self.loss_history.extend(
+            self._train_events(
+                graph, fresh_edge_ids, epochs if epochs is not None else 1
+            )
+        )
 
     # ------------------------------------------------------------------
     def _intensity_and_grads(self, emb, x, v, t, hid, ht, hmask):
@@ -199,3 +231,36 @@ class HTNE(EmbeddingMethod):
         if self._emb is None:
             raise RuntimeError("call fit() before embeddings()")
         return self._emb.copy()
+
+    # -- checkpointing (protocol v2) -----------------------------------
+    def _config_dict(self) -> dict:
+        return {
+            "dim": self.dim,
+            "history_length": self.history_length,
+            "num_negatives": self.num_negatives,
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "lr": self.lr,
+            "init_decay": self.init_decay,
+            "clip": self.clip,
+        }
+
+    def _state_dict(self) -> tuple[dict, dict]:
+        if self._emb is None:
+            raise RuntimeError("call fit() before save()")
+        return {"emb": self._emb}, {
+            "decay": self.decay,
+            "loss_history": self.loss_history,
+        }
+
+    def _load_state_dict(self, arrays: dict, meta: dict) -> None:
+        if "emb" not in arrays:
+            raise CheckpointError("checkpoint is missing array 'emb'")
+        emb = np.asarray(arrays["emb"], dtype=np.float64)
+        if emb.ndim != 2 or emb.shape[1] != self.dim:
+            raise CheckpointError(
+                f"checkpoint array 'emb' has shape {emb.shape}, expected (*, {self.dim})"
+            )
+        self._emb = emb
+        self.decay = float(meta["decay"])
+        self.loss_history = [float(x) for x in meta.get("loss_history", [])]

@@ -3,7 +3,10 @@
 Node2vec samples second-order biased random walks (parameters ``p``/``q``)
 and feeds them to skip-gram with negative sampling; DeepWalk is the ``p = q
 = 1`` special case with uniform first-order walks.  Both ignore timestamps —
-they are the static references EHNA is compared against.
+they are the static references EHNA is compared against, which is also why
+their ``encode(nodes, at=...)`` inherits the base class's time-invariant
+table lookup.  ``partial_fit`` extends the graph and continues SGNS training
+on walks restarted from the nodes the fresh edges touched.
 """
 
 from __future__ import annotations
@@ -11,13 +14,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.base import EmbeddingMethod
-from repro.baselines.skipgram import SkipGramNS, degree_noise_weights
+from repro.baselines.skipgram import (
+    SGNSCheckpointMixin,
+    SkipGramNS,
+    degree_noise_weights,
+)
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.rng import ensure_rng
+from repro.walks.engine import BatchedWalkEngine
 from repro.walks.static import Node2VecWalker, UniformWalker
 
 
-class Node2Vec(EmbeddingMethod):
+class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
     """node2vec: biased static walks + SGNS.
 
     Paper defaults are ``k = 10`` walks of length ``l = 80`` (Section V.C);
@@ -49,15 +57,15 @@ class Node2Vec(EmbeddingMethod):
         self.epochs = epochs
         self.lr = lr
         self._rng = ensure_rng(seed)
+        self.graph: TemporalGraph | None = None
         self._model: SkipGramNS | None = None
 
     def _corpus(self, graph: TemporalGraph) -> list[list[int]]:
         walker = Node2VecWalker(graph, p=self.p, q=self.q)
         return walker.corpus(self.num_walks, self.walk_length, self._rng)
 
-    def fit(self, graph: TemporalGraph) -> "Node2Vec":
-        sentences = self._corpus(graph)
-        self._model = SkipGramNS(
+    def _new_model(self, graph: TemporalGraph) -> SkipGramNS:
+        return SkipGramNS(
             graph.num_nodes,
             dim=self.dim,
             num_negatives=self.num_negatives,
@@ -65,16 +73,66 @@ class Node2Vec(EmbeddingMethod):
             noise_weights=degree_noise_weights(graph.degrees()),
             seed=self._rng,
         )
+
+    def fit(self, graph: TemporalGraph, callbacks=()) -> "Node2Vec":
+        self.graph = graph
+        sentences = self._corpus(graph)
+        self._model = self._new_model(graph)
         self.loss_history = self._model.train_corpus(
-            sentences, window=self.window, epochs=self.epochs
+            sentences,
+            window=self.window,
+            epochs=self.epochs,
+            callbacks=callbacks,
+            name=self.name,
         )
         return self
+
+    def _stream_corpus(self, graph: TemporalGraph, fresh: np.ndarray) -> list[list[int]]:
+        """Walks restarted from every node the fresh edges touched."""
+        touched = np.unique(np.concatenate([graph.src[fresh], graph.dst[fresh]]))
+        engine = BatchedWalkEngine(graph, p=self.p, q=self.q)
+        starts = np.repeat(touched, self.num_walks)
+        walks = engine.node2vec(starts, self.walk_length, self._rng)
+        return [w.nodes for w in walks if len(w) > 1]
+
+    def _apply_partial_fit(
+        self, graph: TemporalGraph, fresh_edge_ids: np.ndarray, epochs: int | None
+    ) -> None:
+        if self._model is None:
+            raise RuntimeError("call fit() before partial_fit()")
+        self._model.grow(
+            graph.num_nodes, noise_weights=degree_noise_weights(graph.degrees())
+        )
+        sentences = self._stream_corpus(graph, fresh_edge_ids)
+        if not sentences:
+            return
+        self.loss_history.extend(
+            self._model.train_corpus(
+                sentences,
+                window=self.window,
+                epochs=epochs if epochs is not None else 1,
+                name=self.name,
+            )
+        )
 
     def embeddings(self) -> np.ndarray:
         if self._model is None:
             raise RuntimeError("call fit() before embeddings()")
         return self._model.embeddings()
 
+    # -- checkpointing (protocol v2) -----------------------------------
+    def _config_dict(self) -> dict:
+        return {
+            "dim": self.dim,
+            "num_walks": self.num_walks,
+            "walk_length": self.walk_length,
+            "window": self.window,
+            "p": self.p,
+            "q": self.q,
+            "num_negatives": self.num_negatives,
+            "epochs": self.epochs,
+            "lr": self.lr,
+        }
 
 class DeepWalk(Node2Vec):
     """DeepWalk: uniform walks + SGNS (node2vec with ``p = q = 1``)."""
@@ -97,3 +155,16 @@ class DeepWalk(Node2Vec):
                 if len(walk) > 1:
                     sentences.append(walk.nodes)
         return sentences
+
+    def _stream_corpus(self, graph: TemporalGraph, fresh: np.ndarray) -> list[list[int]]:
+        touched = np.unique(np.concatenate([graph.src[fresh], graph.dst[fresh]]))
+        engine = BatchedWalkEngine(graph)
+        starts = np.repeat(touched, self.num_walks)
+        walks = engine.uniform(starts, self.walk_length, self._rng)
+        return [w.nodes for w in walks if len(w) > 1]
+
+    def _config_dict(self) -> dict:
+        config = super()._config_dict()
+        config.pop("p")  # DeepWalk's constructor pins p = q = 1
+        config.pop("q")
+        return config

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.trainer import Trainer
 from repro.utils.alias import AliasTable
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative, check_positive
@@ -111,14 +112,61 @@ class SkipGramNS:
         window: int = 5,
         epochs: int = 1,
         batch_size: int = 64,
+        callbacks=(),
+        name: str = "SGNS",
     ) -> list[float]:
-        """Train on walk sentences; returns per-epoch mean losses."""
-        check_positive("epochs", epochs)
-        losses = []
-        for _ in range(epochs):
-            pairs = sentences_to_pairs(sentences, window, self._rng)
-            losses.append(self.train_pairs(pairs, batch_size=batch_size))
-        return losses
+        """Train on walk sentences; returns per-epoch mean losses.
+
+        The epoch loop is the shared :class:`~repro.core.trainer.Trainer`;
+        every epoch re-expands the corpus into freshly shuffled pairs
+        (``epoch_items``), so batching stays randomized without a second
+        shuffle pass.
+        """
+        current: dict = {}
+
+        def epoch_items(epoch, rng):
+            current["pairs"] = sentences_to_pairs(sentences, window, rng)
+            return np.arange(current["pairs"].shape[0])
+
+        def step(idx):
+            batch = current["pairs"][idx]
+            return self._step(batch[:, 0], batch[:, 1])
+
+        trainer = Trainer(
+            epochs=epochs,
+            batch_size=batch_size,
+            rng=self._rng,
+            callbacks=callbacks,
+            shuffle=False,  # sentences_to_pairs already shuffles
+            name=name,
+        )
+        return trainer.run(step, epoch_items=epoch_items)
+
+    def grow(self, num_nodes: int, noise_weights=None) -> None:
+        """Extend the vocabulary to ``num_nodes`` ids (streaming updates).
+
+        New input rows are initialized like fresh ones (uniform in
+        ``0.5/dim``), new output rows start at zero; existing vectors are
+        untouched.  Pass ``noise_weights`` to rebuild the negative-sampling
+        table against the grown graph's degrees.
+        """
+        if num_nodes < self.num_nodes:
+            raise ValueError(
+                f"cannot shrink vocabulary from {self.num_nodes} to {num_nodes}"
+            )
+        extra = num_nodes - self.num_nodes
+        if extra:
+            bound = 0.5 / self.dim
+            self.w_in = np.vstack(
+                [self.w_in, self._rng.uniform(-bound, bound, size=(extra, self.dim))]
+            )
+            self.w_out = np.vstack([self.w_out, np.zeros((extra, self.dim))])
+            self.num_nodes = num_nodes
+        if noise_weights is not None:
+            noise_weights = np.asarray(noise_weights, dtype=np.float64)
+            if noise_weights.shape != (self.num_nodes,):
+                raise ValueError("noise_weights must have one entry per node")
+            self._noise = AliasTable(noise_weights)
 
     def _step(self, centers: np.ndarray, contexts: np.ndarray) -> float:
         b = centers.size
@@ -167,3 +215,41 @@ def degree_noise_weights(degrees: np.ndarray, power: float = 0.75) -> np.ndarray
     """The ``d^0.75`` noise distribution shared by all methods (Section IV.D)."""
     check_non_negative("power", power)
     return np.asarray(degrees, dtype=np.float64) ** power
+
+
+class SGNSCheckpointMixin:
+    """Protocol-v2 checkpoint hooks shared by the SGNS-backed methods.
+
+    Hosts expose ``self._model`` (a :class:`SkipGramNS`), ``self.graph`` and
+    ``self._rng``, plus a ``_new_model(graph)`` factory; the trained state is
+    just the two weight tables.
+    """
+
+    def _state_dict(self) -> tuple[dict, dict]:
+        if self._model is None:
+            raise RuntimeError("call fit() before save()")
+        arrays = {"w_in": self._model.w_in, "w_out": self._model.w_out}
+        return arrays, {"loss_history": getattr(self, "loss_history", [])}
+
+    def _load_state_dict(self, arrays: dict, meta: dict) -> None:
+        from repro.utils.checkpoint import CheckpointError
+
+        if self.graph is None:
+            raise CheckpointError(f"{type(self).__name__} checkpoint lacks its graph")
+        # Init weights come from a throwaway generator (they are overwritten
+        # below), so the restored RNG stream stays untouched.
+        saved_rng = self._rng
+        self._rng = ensure_rng(0)
+        self._model = self._new_model(self.graph)
+        self._rng = saved_rng
+        self._model._rng = saved_rng
+        for key in ("w_in", "w_out"):
+            if key not in arrays:
+                raise CheckpointError(f"checkpoint is missing array {key!r}")
+            if arrays[key].shape != getattr(self._model, key).shape:
+                raise CheckpointError(
+                    f"checkpoint array {key!r} has shape {arrays[key].shape}, "
+                    f"expected {getattr(self._model, key).shape}"
+                )
+            setattr(self._model, key, np.asarray(arrays[key], dtype=np.float64))
+        self.loss_history = [float(x) for x in meta.get("loss_history", [])]

@@ -12,6 +12,14 @@ from repro.core.config import EHNAConfig
 from repro.core.loss import margin_hinge_loss
 from repro.core.model import EHNA
 from repro.core.negative_sampling import NegativeSampler
+from repro.core.trainer import (
+    EarlyStopping,
+    LambdaCallback,
+    Trainer,
+    TrainerCallback,
+    TrainState,
+    VerboseCallback,
+)
 from repro.core.variants import (
     ABLATION_VARIANTS,
     ehna_full,
@@ -33,6 +41,12 @@ __all__ = [
     "uniform_attention",
     "margin_hinge_loss",
     "NegativeSampler",
+    "Trainer",
+    "TrainState",
+    "TrainerCallback",
+    "VerboseCallback",
+    "EarlyStopping",
+    "LambdaCallback",
     "ABLATION_VARIANTS",
     "ehna_full",
     "ehna_na",

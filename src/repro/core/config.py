@@ -36,6 +36,9 @@ class EHNAConfig:
     # scaling erodes the identity readout before any pairwise signal forms.
     # None = lr / 20.
     network_lr: float | None = None
+    # Element-wise gradient clip bound for both optimizers; 0 disables
+    # clipping (mapped to the optimizers' clip=None — never to a zero bound,
+    # which would silently freeze training).
     grad_clip: float = 5.0
     # Ablation switches (Table VII variants flip these).
     use_attention: bool = True
@@ -80,6 +83,9 @@ class EHNAConfig:
         check_positive("batch_size", self.batch_size)
         check_positive("epochs", self.epochs)
         check_positive("lr", self.lr)
+        if self.network_lr is not None:
+            check_positive("network_lr", self.network_lr)
+        check_non_negative("grad_clip", self.grad_clip)
         check_positive("fallback_hops", self.fallback_hops)
         check_positive("time_eps", self.time_eps)
         check_non_negative("negative_power", self.negative_power)

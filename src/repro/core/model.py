@@ -18,7 +18,12 @@ shortcut that leaves the embeddings useless downstream.
 
 After training, one additional aggregation anchored at each node's most
 recent interaction produces the final embedding table (Section IV.D's
-"``e_x = z_x``" step).
+"``e_x = z_x``" step).  That anchor choice is exactly what the v2 protocol
+generalizes: ``encode(nodes, at=times)`` runs the same trained aggregator at
+*arbitrary* anchors — embedding a node "as of" any moment of its history —
+with ``embeddings()`` as the ``at=last_event_time`` special case.
+``partial_fit`` appends arriving edges and trains incrementally on them, and
+``save``/``load`` checkpoint the full trained state.
 """
 
 from __future__ import annotations
@@ -27,15 +32,17 @@ import dataclasses
 
 import numpy as np
 
-from repro.base import EmbeddingMethod
+from repro.base import EmbeddingMethod, resolve_anchors
 from repro.core.aggregation import TwoLevelAggregator, batch_walks
 from repro.core.config import EHNAConfig
 from repro.core.loss import margin_hinge_loss
 from repro.core.negative_sampling import NegativeSampler
+from repro.core.trainer import Trainer, with_verbose
 from repro.graph.temporal_graph import TemporalGraph
-from repro.nn.layers import Embedding
+from repro.nn.layers import BatchNorm1d, Embedding
 from repro.nn.optim import Adam
 from repro.nn.tensor import concat
+from repro.utils.checkpoint import CheckpointError
 from repro.utils.rng import ensure_rng
 from repro.walks.base import Walk
 from repro.walks.engine import BatchedWalkEngine
@@ -52,31 +59,33 @@ class EHNA(EmbeddingMethod):
         so ``EHNA(dim=64, epochs=10)`` works without building a config.
     seed:
         Seed or generator controlling weights, walks and negative samples.
+    callbacks:
+        Default :class:`~repro.core.trainer.TrainerCallback` list applied to
+        every ``fit``/``partial_fit`` (merged with per-call callbacks).
     """
 
     name = "EHNA"
 
-    def __init__(self, config: EHNAConfig | None = None, seed=None, **overrides):
+    def __init__(
+        self, config: EHNAConfig | None = None, seed=None, callbacks=(), **overrides
+    ):
         base = config if config is not None else EHNAConfig()
         if overrides:
             base = dataclasses.replace(base, **overrides)
         self.config = base.validate()
         self._rng = ensure_rng(seed)
+        self.callbacks = tuple(callbacks)
+        self.graph: TemporalGraph | None = None
         self._final: np.ndarray | None = None
+        self._infer_seed: int = 0
         self.loss_history: list[float] = []
 
     # ------------------------------------------------------------------
-    # training
+    # construction of graph-bound runtime state
     # ------------------------------------------------------------------
-    def fit(self, graph: TemporalGraph, verbose: bool = False) -> "EHNA":
-        """Train on ``graph``; records per-epoch mean loss in ``loss_history``."""
+    def _build_sampling(self, graph: TemporalGraph) -> None:
+        """(Re)bind the negative sampler and walk engine to ``graph``."""
         cfg = self.config
-        rng = self._rng
-        self.graph = graph
-        self.embedding = Embedding(graph.num_nodes, cfg.dim, rng)
-        self.aggregator = TwoLevelAggregator(
-            cfg.dim, cfg.lstm_layers, cfg.two_level, rng
-        )
         self.sampler = NegativeSampler(graph, power=cfg.negative_power)
         # One shared vectorized engine advances every walk family; the
         # temporal walker stays exposed as a thin per-node wrapper over it
@@ -94,27 +103,56 @@ class EHNA(EmbeddingMethod):
             if cfg.temporal_walks
             else None
         )
+
+    def _build_runtime(self, graph: TemporalGraph, rng=None) -> None:
+        """Fresh parameters and graph bindings (``fit`` and ``load`` entry)."""
+        cfg = self.config
+        rng = self._rng if rng is None else rng
+        self.graph = graph
+        self.embedding = Embedding(graph.num_nodes, cfg.dim, rng)
+        self.aggregator = TwoLevelAggregator(
+            cfg.dim, cfg.lstm_layers, cfg.two_level, rng
+        )
+        self._build_sampling(graph)
+
+    def _make_optimizers(self) -> list[Adam]:
+        cfg = self.config
         network_lr = cfg.network_lr if cfg.network_lr is not None else cfg.lr / 20.0
-        optimizers = [
-            Adam(self.embedding.parameters(), lr=cfg.lr, clip=cfg.grad_clip),
-            Adam(self.aggregator.parameters(), lr=network_lr, clip=cfg.grad_clip),
+        clip = cfg.grad_clip if cfg.grad_clip > 0 else None  # 0 = no clipping
+        return [
+            Adam(self.embedding.parameters(), lr=cfg.lr, clip=clip),
+            Adam(self.aggregator.parameters(), lr=network_lr, clip=clip),
         ]
 
-        edge_ids = np.arange(graph.num_edges)
-        self.loss_history = []
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, graph: TemporalGraph, verbose: bool = False, callbacks=()) -> "EHNA":
+        """Train on ``graph``; records per-epoch mean loss in ``loss_history``.
+
+        ``verbose`` routes epoch reporting through the shared trainer's
+        :class:`~repro.core.trainer.VerboseCallback`; ``callbacks`` may add
+        early stopping, eval probes, or any other epoch-end hook.
+        """
+        cfg = self.config
+        self._build_runtime(graph)
+        optimizers = self._make_optimizers()
+
         self.aggregator.train()
-        for epoch in range(cfg.epochs):
-            rng.shuffle(edge_ids)
-            losses = []
-            for lo in range(0, edge_ids.size, cfg.batch_size):
-                batch = edge_ids[lo : lo + cfg.batch_size]
-                losses.append(self._train_batch(batch, optimizers))
-            mean_loss = float(np.mean(losses))
-            self.loss_history.append(mean_loss)
-            if verbose:
-                print(f"[EHNA] epoch {epoch + 1}/{cfg.epochs} loss={mean_loss:.4f}")
+        trainer = Trainer(
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            rng=self._rng,
+            callbacks=with_verbose([*self.callbacks, *callbacks], verbose),
+            name=self.name,
+        )
+        self.loss_history = trainer.run(
+            lambda batch: self._train_batch(batch, optimizers),
+            num_items=graph.num_edges,
+        )
 
         self._final = self._final_embeddings()
+        self._infer_seed = int(self._rng.integers(2**63 - 1))
         return self
 
     def _aggregate(self, targets: np.ndarray, walk_sets, use_attention: bool):
@@ -133,7 +171,7 @@ class EHNA(EmbeddingMethod):
             time_eps=cfg.time_eps,
         )
 
-    def _grouped_aggregate(self, nodes, times, include_context: bool = False):
+    def _grouped_aggregate(self, nodes, times, include_context: bool = False, rng=None):
         """Aggregate every node through the appropriate pipeline, in order.
 
         Nodes with historical interactions before their anchor time go
@@ -145,9 +183,15 @@ class EHNA(EmbeddingMethod):
 
         Walk generation is batched: one lockstep engine call samples the
         temporal walks of every eligible node in the batch, and a second one
-        covers the uniform fallback/ablation walks.
+        covers the uniform fallback/ablation walks.  ``rng`` defaults to the
+        training stream; inference paths pass their own generator so serving
+        queries never perturb training reproducibility — and those calls
+        also bypass the walk cache, so answers never depend on (or change)
+        training-cache warmth.
         """
         cfg = self.config
+        use_cache = rng is None  # explicit rng == inference: no cache
+        rng = self._rng if rng is None else rng
         temporal_idx: list[int] = []
         temporal_sets: list[list[Walk]] = []
         static_idx: list[int] = []
@@ -166,8 +210,9 @@ class EHNA(EmbeddingMethod):
                 np.array([float(times[i]) for i in eligible]),
                 cfg.num_walks,
                 cfg.walk_length,
-                self._rng,
+                rng,
                 include_context=include_context,
+                use_cache=use_cache,
             )
             for i, walks in zip(eligible, sets):
                 if any(len(w) > 1 for w in walks):
@@ -182,7 +227,8 @@ class EHNA(EmbeddingMethod):
             # fallback neighborhood stays shallow (Section IV.D).
             length = cfg.walk_length if self.temporal_walker is None else cfg.fallback_hops
             sets = self.engine.uniform_walk_sets(
-                np.asarray(nodes)[need_static], cfg.num_walks, length, self._rng
+                np.asarray(nodes)[need_static], cfg.num_walks, length, rng,
+                use_cache=use_cache,
             )
             static_idx = need_static
             static_sets = sets
@@ -253,6 +299,57 @@ class EHNA(EmbeddingMethod):
         return loss.item()
 
     # ------------------------------------------------------------------
+    # incremental training (protocol v2)
+    # ------------------------------------------------------------------
+    def _apply_partial_fit(
+        self, graph: TemporalGraph, fresh_edge_ids: np.ndarray, epochs: int | None
+    ) -> None:
+        """Absorb streamed edges: grow the table, train on the fresh events.
+
+        The aggregation network and embedding table continue from their
+        trained state (new nodes get freshly initialized rows); optimizer
+        moments restart, which for a small incremental batch acts as a mild
+        trust region around the converged parameters.  After the incremental
+        epochs, the final embedding table is re-aggregated so ``embeddings()``
+        and the ``encode`` fast path reflect the extended history.
+        """
+        if self._final is None:
+            raise RuntimeError("call fit() before partial_fit()")
+        cfg = self.config
+        extra = graph.num_nodes - self.embedding.num_embeddings
+        if extra > 0:
+            # Initialize only the new rows (Embedding's default bound); the
+            # trained rows are kept, not reallocated-and-copied per batch.
+            bound = 1.0 / np.sqrt(cfg.dim)
+            new_rows = self._rng.uniform(-bound, bound, size=(extra, cfg.dim))
+            self.embedding.weight.data = np.concatenate(
+                [self.embedding.weight.data, new_rows]
+            )
+            self.embedding.weight.grad = None
+            self.embedding.num_embeddings = graph.num_nodes
+        self._build_sampling(graph)
+        optimizers = self._make_optimizers()
+
+        self.aggregator.train()
+        fresh = np.asarray(fresh_edge_ids, dtype=np.int64)
+        trainer = Trainer(
+            epochs=epochs if epochs is not None else 1,
+            batch_size=cfg.batch_size,
+            rng=self._rng,
+            callbacks=list(self.callbacks),
+            name=self.name,
+        )
+        self.loss_history.extend(
+            trainer.run(
+                lambda batch: self._train_batch(fresh[batch], optimizers),
+                num_items=fresh.size,
+            )
+        )
+
+        self._final = self._final_embeddings()
+        self._infer_seed = int(self._rng.integers(2**63 - 1))
+
+    # ------------------------------------------------------------------
     # inference
     # ------------------------------------------------------------------
     def _final_embeddings(self) -> np.ndarray:
@@ -275,3 +372,112 @@ class EHNA(EmbeddingMethod):
         if self._final is None:
             raise RuntimeError("call fit() before embeddings()")
         return self._final
+
+    def encode(self, nodes, at=None) -> np.ndarray:
+        """Embed ``nodes`` as of anchor time(s) ``at`` — batched, on demand.
+
+        Runs the trained aggregator over each node's historical neighborhood
+        *up to* its anchor.  ``at=None`` (or an anchor equal to a node's last
+        event time) is the ``embeddings()`` special case and returns the
+        precomputed final-table row exactly; other anchors aggregate live,
+        in ``batch_size`` chunks, with walks drawn from a generator seeded
+        once at the end of training — so ``encode`` is deterministic for a
+        given query batch and never consumes the training RNG stream.
+        """
+        if self._final is None:
+            raise RuntimeError("call fit() before encode()")
+        cfg = self.config
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        anchors = resolve_anchors(self.graph, nodes, at)
+        # at=None resolved to each node's last event time — by definition
+        # the table anchor, so reuse it instead of re-querying per node.
+        table_anchor = (
+            anchors
+            if at is None
+            else [self.graph.last_event_time(int(v)) for v in nodes]
+        )
+
+        out = np.empty((nodes.size, cfg.dim))
+        # None == None and exact float equality: the final table serves the
+        # default anchor bitwise; everything else aggregates live.
+        live = [i for i in range(nodes.size) if anchors[i] != table_anchor[i]]
+        fast = [i for i in range(nodes.size) if anchors[i] == table_anchor[i]]
+        if fast:
+            idx = np.asarray(fast, dtype=np.int64)
+            out[idx] = self._final[nodes[idx]]
+        if live:
+            rng = np.random.default_rng(self._infer_seed)
+            self.aggregator.eval()
+            for lo in range(0, len(live), cfg.batch_size):
+                chunk = np.asarray(live[lo : lo + cfg.batch_size], dtype=np.int64)
+                z = self._grouped_aggregate(
+                    nodes[chunk],
+                    [anchors[i] for i in chunk],
+                    include_context=True,
+                    rng=rng,
+                )
+                out[chunk] = z.data
+            self.aggregator.train()
+        return out
+
+    # ------------------------------------------------------------------
+    # checkpointing (protocol v2)
+    # ------------------------------------------------------------------
+    def _config_dict(self) -> dict:
+        return dataclasses.asdict(self.config)
+
+    @classmethod
+    def _from_config(cls, config: dict) -> "EHNA":
+        return cls(config=EHNAConfig(**config))
+
+    def _batch_norms(self) -> list[BatchNorm1d]:
+        """The aggregator's BN layers, in deterministic module order (their
+        running statistics live outside ``parameters()``)."""
+        return [m for m in self.aggregator.modules() if isinstance(m, BatchNorm1d)]
+
+    def _state_dict(self) -> tuple[dict, dict]:
+        if self._final is None:
+            raise RuntimeError("call fit() before save()")
+        arrays = {
+            "embedding": self.embedding.weight.data,
+            "final": self._final,
+        }
+        for i, p in enumerate(self.aggregator.parameters()):
+            arrays[f"agg/{i}"] = p.data
+        for j, bn in enumerate(self._batch_norms()):
+            arrays[f"bn/{j}/mean"] = bn.running_mean
+            arrays[f"bn/{j}/var"] = bn.running_var
+        meta = {
+            "loss_history": self.loss_history,
+            "infer_seed": self._infer_seed,
+        }
+        return arrays, meta
+
+    def _load_state_dict(self, arrays: dict, meta: dict) -> None:
+        if self.graph is None:
+            raise CheckpointError("EHNA checkpoint is missing its graph")
+        # Parameters are overwritten below, so initialize from a throwaway
+        # generator — the restored RNG stream continues exactly where the
+        # saved model's left off.
+        self._build_runtime(self.graph, rng=np.random.default_rng(0))
+        _assign(self.embedding.weight.data, arrays, "embedding")
+        for i, p in enumerate(self.aggregator.parameters()):
+            _assign(p.data, arrays, f"agg/{i}")
+        for j, bn in enumerate(self._batch_norms()):
+            _assign(bn.running_mean, arrays, f"bn/{j}/mean")
+            _assign(bn.running_var, arrays, f"bn/{j}/var")
+        self._final = np.asarray(arrays["final"])
+        self.loss_history = [float(x) for x in meta.get("loss_history", [])]
+        self._infer_seed = int(meta["infer_seed"])
+
+
+def _assign(dst: np.ndarray, arrays: dict, key: str) -> None:
+    """Copy ``arrays[key]`` into ``dst`` in place, validating presence/shape."""
+    if key not in arrays:
+        raise CheckpointError(f"checkpoint is missing array {key!r}")
+    src = arrays[key]
+    if src.shape != dst.shape:
+        raise CheckpointError(
+            f"checkpoint array {key!r} has shape {src.shape}, expected {dst.shape}"
+        )
+    dst[...] = src

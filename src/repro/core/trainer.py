@@ -1,0 +1,205 @@
+"""The shared epoch/mini-batch training loop.
+
+Every method in this package — EHNA, the skip-gram baselines, LINE, HTNE —
+trains the same way: shuffle an index space, walk it in mini-batches, record
+a per-epoch mean loss, repeat.  :class:`Trainer` owns that loop once, so the
+methods only supply a ``step`` function (one mini-batch of work → loss) and
+optionally regenerate their index space per epoch (skip-gram re-expands its
+walk corpus into fresh pairs; LINE re-draws its weighted edge sample).
+
+Epoch-end behavior is extensible through :class:`TrainerCallback`; built-ins
+cover the common cases: :class:`VerboseCallback` (loss logging, what
+``EHNA.fit(verbose=True)`` routes through), :class:`EarlyStopping`, and
+:class:`LambdaCallback` for ad-hoc eval probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TrainState:
+    """What callbacks see at the end of every epoch."""
+
+    #: 1-based index of the epoch that just finished.
+    epoch: int
+    #: Total number of epochs requested.
+    epochs: int
+    #: Batch-size-weighted mean loss of the finished epoch.
+    mean_loss: float
+    #: Per-epoch mean losses so far (including this epoch).
+    history: list[float] = field(default_factory=list)
+    #: Label of the method being trained (for log lines).
+    name: str = "train"
+
+
+class TrainerCallback:
+    """Epoch-end hook; return ``True`` from ``on_epoch_end`` to stop early.
+
+    ``on_train_begin`` fires once per :meth:`Trainer.run`, so stateful
+    callbacks (e.g. :class:`EarlyStopping`) reset there and one instance can
+    be reused across runs — ``fit`` then ``partial_fit``, say.
+    """
+
+    def on_train_begin(self) -> None:
+        """Called once before the first epoch of every run."""
+
+    def on_epoch_end(self, state: TrainState) -> bool | None:
+        """Called after every epoch with the current :class:`TrainState`."""
+        return None
+
+
+class VerboseCallback(TrainerCallback):
+    """Print one loss line per epoch (``[name] epoch i/N loss=…``)."""
+
+    def on_epoch_end(self, state: TrainState) -> bool | None:
+        print(
+            f"[{state.name}] epoch {state.epoch}/{state.epochs} "
+            f"loss={state.mean_loss:.4f}"
+        )
+        return None
+
+
+class EarlyStopping(TrainerCallback):
+    """Stop when the epoch loss has not improved by ``min_delta`` for
+    ``patience`` consecutive epochs."""
+
+    def __init__(self, patience: int = 2, min_delta: float = 0.0):
+        check_positive("patience", patience)
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be non-negative, got {min_delta}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = np.inf
+        self.stale = 0
+
+    def on_train_begin(self) -> None:
+        # Fresh baseline per run: fit's converged loss must not abort a
+        # later partial_fit whose fresh-edge losses start higher.
+        self.best = np.inf
+        self.stale = 0
+
+    def on_epoch_end(self, state: TrainState) -> bool | None:
+        if state.mean_loss < self.best - self.min_delta:
+            self.best = state.mean_loss
+            self.stale = 0
+            return None
+        self.stale += 1
+        return self.stale >= self.patience
+
+
+class LambdaCallback(TrainerCallback):
+    """Wrap a plain function ``f(state) -> bool | None`` (eval probes etc.)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def on_epoch_end(self, state: TrainState) -> bool | None:
+        return self.fn(state)
+
+
+class Trainer:
+    """Run ``epochs`` passes of mini-batch SGD over an index space.
+
+    Parameters
+    ----------
+    epochs, batch_size:
+        The loop dimensions.
+    rng:
+        Shuffling (and ``epoch_items``) randomness; shared with the caller so
+        one seed reproduces the whole run.
+    callbacks:
+        :class:`TrainerCallback` instances invoked after every epoch, in
+        order.  Any callback returning ``True`` ends training early.
+    shuffle:
+        Shuffle the index space before batching each epoch (disable when the
+        items are already randomized, e.g. pre-shuffled skip-gram pairs).
+    name:
+        Label surfaced in :class:`TrainState` for log lines.
+    """
+
+    def __init__(
+        self,
+        epochs: int,
+        batch_size: int,
+        rng=None,
+        callbacks=(),
+        shuffle: bool = True,
+        name: str = "train",
+    ):
+        check_positive("epochs", epochs)
+        check_positive("batch_size", batch_size)
+        for cb in callbacks:
+            if not hasattr(cb, "on_epoch_end"):
+                raise TypeError(f"callback {cb!r} lacks an on_epoch_end hook")
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.rng = ensure_rng(rng)
+        self.callbacks = list(callbacks)
+        self.shuffle = shuffle
+        self.name = name
+
+    def run(self, step, num_items: int | None = None, epoch_items=None) -> list[float]:
+        """Drive the loop; returns the per-epoch mean losses.
+
+        ``step(indices)`` processes one mini-batch (a 1-D int array into the
+        index space) and returns its mean loss.  The index space is either
+        ``np.arange(num_items)`` or, when ``epoch_items`` is given, the array
+        returned by ``epoch_items(epoch, rng)`` at the start of every epoch —
+        which lets methods resample their training set per epoch.
+
+        Epoch means are batch-size weighted, so a short trailing batch does
+        not skew the reported loss.
+        """
+        if (num_items is None) == (epoch_items is None):
+            raise ValueError("provide exactly one of num_items or epoch_items")
+        if num_items is not None:
+            check_positive("num_items", num_items)
+            items = np.arange(num_items)
+        for cb in self.callbacks:
+            begin = getattr(cb, "on_train_begin", None)  # duck-typed callbacks
+            if begin is not None:
+                begin()
+        history: list[float] = []
+        for epoch in range(self.epochs):
+            if epoch_items is not None:
+                items = np.asarray(epoch_items(epoch, self.rng))
+                if items.size == 0:
+                    raise ValueError(f"epoch_items returned no items at epoch {epoch}")
+            if self.shuffle:
+                self.rng.shuffle(items)
+            total, count = 0.0, 0
+            for lo in range(0, items.size, self.batch_size):
+                batch = items[lo : lo + self.batch_size]
+                total += float(step(batch)) * batch.size
+                count += batch.size
+            mean_loss = total / count
+            history.append(mean_loss)
+            state = TrainState(
+                epoch=epoch + 1,
+                epochs=self.epochs,
+                mean_loss=mean_loss,
+                history=history,
+                name=self.name,
+            )
+            stop = False
+            for cb in self.callbacks:  # every callback runs, even after a stop vote
+                if cb.on_epoch_end(state):
+                    stop = True
+            if stop:
+                break
+        return history
+
+
+def with_verbose(callbacks, verbose: bool):
+    """The caller's callbacks, plus a :class:`VerboseCallback` if asked."""
+    merged = list(callbacks)
+    if verbose:
+        merged.append(VerboseCallback())
+    return merged

@@ -5,6 +5,11 @@ construct fresh, identically configured models.  Parameters are laptop-scale
 versions of Section V.C (see DESIGN.md's scale note); the relative budgets
 mirror the paper — e.g. Node2Vec walks are longer than EHNA's, LINE's cost
 depends only on its sample count.
+
+Epoch-level progress reporting rides on the shared trainer's callback hook:
+``default_methods(verbose=True)`` (or any custom ``callbacks``) attaches to
+EHNA's construction-time callbacks, so experiment drivers get loss lines —
+or early stopping, or eval probes — without touching the training loop.
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ from typing import Callable
 
 from repro.base import EmbeddingMethod
 from repro.baselines import CTDNE, HTNE, LINE, Node2Vec
-from repro.core import EHNA
+from repro.core import EHNA, VerboseCallback
 
 #: Method names in the order the paper's tables list them.
 METHOD_ORDER = ("LINE", "Node2Vec", "CTDNE", "HTNE", "EHNA")
@@ -24,8 +29,16 @@ def default_methods(
     seed: int = 0,
     ehna_epochs: int = 3,
     sgns_epochs: int = 2,
+    verbose: bool = False,
+    callbacks: tuple = (),
 ) -> dict[str, Callable[[], EmbeddingMethod]]:
-    """Factories for the five methods compared throughout Section V."""
+    """Factories for the five methods compared throughout Section V.
+
+    ``verbose`` adds per-epoch loss logging to EHNA (the only method whose
+    training is slow enough to warrant it); ``callbacks`` appends arbitrary
+    :class:`~repro.core.trainer.TrainerCallback` hooks to the same loop.
+    """
+    ehna_callbacks = tuple(callbacks) + ((VerboseCallback(),) if verbose else ())
     return {
         "LINE": lambda: LINE(dim=dim, samples_per_edge=20, seed=seed),
         "Node2Vec": lambda: Node2Vec(
@@ -47,5 +60,7 @@ def default_methods(
             seed=seed,
         ),
         "HTNE": lambda: HTNE(dim=dim, epochs=2 * sgns_epochs, seed=seed),
-        "EHNA": lambda: EHNA(dim=dim, epochs=ehna_epochs, seed=seed),
+        "EHNA": lambda: EHNA(
+            dim=dim, epochs=ehna_epochs, seed=seed, callbacks=ehna_callbacks
+        ),
     }

@@ -62,21 +62,19 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    @classmethod
-    def from_edges(cls, src, dst, time, weight=None, num_nodes=None) -> "TemporalGraph":
-        """Build a graph from parallel edge arrays.
+    @staticmethod
+    def _validate_edge_arrays(src, dst, time, weight):
+        """Cast and check parallel edge arrays; returns the casted tuple.
 
-        Edges are stably sorted by timestamp.  Self-loops are rejected;
-        parallel edges (repeat interactions) are kept — they are meaningful
-        temporal events (e.g. repeat collaborations in DBLP).
+        Shared by :meth:`from_edges` and :meth:`extend`.  Empty arrays are
+        allowed here (``extend`` accepts a no-op batch); ``from_edges``
+        rejects them separately.
         """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         time = np.asarray(time, dtype=np.float64)
         if src.shape != dst.shape or src.shape != time.shape or src.ndim != 1:
             raise ValueError("src, dst and time must be 1-D arrays of equal length")
-        if src.size == 0:
-            raise ValueError("a temporal graph needs at least one edge")
         if np.any(src == dst):
             raise ValueError("self-loops are not allowed in a temporal network")
         if not np.all(np.isfinite(time)):
@@ -89,10 +87,23 @@ class TemporalGraph:
                 raise ValueError("weight must match src/dst/time in length")
             if np.any(weight <= 0) or not np.all(np.isfinite(weight)):
                 raise ValueError("edge weights must be finite and positive")
-
-        max_node = int(max(src.max(), dst.max()))
         if np.any(src < 0) or np.any(dst < 0):
             raise ValueError("node ids must be non-negative integers")
+        return src, dst, time, weight
+
+    @classmethod
+    def from_edges(cls, src, dst, time, weight=None, num_nodes=None) -> "TemporalGraph":
+        """Build a graph from parallel edge arrays.
+
+        Edges are stably sorted by timestamp.  Self-loops are rejected;
+        parallel edges (repeat interactions) are kept — they are meaningful
+        temporal events (e.g. repeat collaborations in DBLP).
+        """
+        src, dst, time, weight = cls._validate_edge_arrays(src, dst, time, weight)
+        if src.size == 0:
+            raise ValueError("a temporal graph needs at least one edge")
+
+        max_node = int(max(src.max(), dst.max()))
         if num_nodes is None:
             num_nodes = max_node + 1
         elif num_nodes <= max_node:
@@ -102,6 +113,47 @@ class TemporalGraph:
 
         order = np.argsort(time, kind="stable")
         return cls(num_nodes, src[order], dst[order], time[order], weight[order])
+
+    def extend(
+        self, src, dst, time, weight=None, num_nodes=None
+    ) -> tuple["TemporalGraph", np.ndarray]:
+        """A new graph with the given events appended; the original is untouched.
+
+        This is the streaming path behind ``EmbeddingMethod.partial_fit``:
+        arriving interactions are merged into the time-sorted edge table (a
+        stable sort keeps existing ties in their original order and places
+        equal-time arrivals after them) and the CSR incidence index is
+        rebuilt.  New node ids beyond the current id space grow the graph;
+        ``num_nodes`` can reserve extra headroom explicitly.
+
+        Returns ``(new_graph, fresh_edge_ids)`` where ``fresh_edge_ids``
+        indexes the appended events *in the new graph's edge-id space* (ids
+        of older events may shift when arrivals carry historical
+        timestamps).  An empty batch returns ``(self, empty)``.
+        """
+        src, dst, time, weight = self._validate_edge_arrays(src, dst, time, weight)
+        if src.size == 0:
+            return self, np.empty(0, dtype=np.int64)
+
+        max_node = int(max(src.max(), dst.max()))
+        n = max(self._n, max_node + 1)
+        if num_nodes is not None:
+            if num_nodes <= max_node:
+                raise ValueError(
+                    f"num_nodes={num_nodes} too small for max node id {max_node}"
+                )
+            n = max(n, int(num_nodes))
+
+        all_src = np.concatenate([self._src, src])
+        all_dst = np.concatenate([self._dst, dst])
+        all_time = np.concatenate([self._time, time])
+        all_weight = np.concatenate([self._weight, weight])
+        order = np.argsort(all_time, kind="stable")
+        fresh = np.flatnonzero(order >= self.num_edges)
+        graph = TemporalGraph(
+            n, all_src[order], all_dst[order], all_time[order], all_weight[order]
+        )
+        return graph, fresh
 
     def _build_incidence(self) -> None:
         """Per-node incidence lists sorted by time (CSR layout).

@@ -1,6 +1,13 @@
-"""Shared utilities: RNG handling, alias sampling, timing, validation."""
+"""Shared utilities: RNG handling, alias sampling, timing, validation,
+checkpoint archives."""
 
 from repro.utils.alias import AliasTable, PackedAliasTables, build_alias_tables
+from repro.utils.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timers import Timer
 from repro.utils.validation import (
@@ -13,6 +20,10 @@ __all__ = [
     "AliasTable",
     "PackedAliasTables",
     "build_alias_tables",
+    "Checkpoint",
+    "CheckpointError",
+    "load_checkpoint",
+    "save_checkpoint",
     "ensure_rng",
     "spawn_rng",
     "Timer",

@@ -1,0 +1,142 @@
+"""Versioned ``npz`` checkpoint format for embedding methods.
+
+A checkpoint is a single ``.npz`` archive holding (a) a JSON header with the
+format name, format version, the concrete method class, its constructor
+configuration and any JSON-serializable metadata (RNG state, loss history,
+…), and (b) the method's parameter arrays verbatim.  Keeping the header
+*inside* the archive makes checkpoints self-describing: ``load_checkpoint``
+refuses anything whose format or version it does not understand with a clear
+error instead of a shape mismatch three layers down.
+
+The format is deliberately dumb — ``np.savez`` plus JSON — so checkpoints
+stay readable from plain NumPy without importing this package.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Identifies archives written by this module.
+FORMAT = "repro.embedding_method"
+
+#: Bumped whenever the layout changes incompatibly.
+VERSION = 2
+
+_HEADER_KEY = "__checkpoint_header__"
+
+
+class CheckpointError(ValueError):
+    """Raised when an archive is not a loadable checkpoint."""
+
+
+@dataclass
+class Checkpoint:
+    """A parsed checkpoint: header fields plus the raw parameter arrays."""
+
+    class_name: str
+    version: int
+    config: dict
+    meta: dict = field(default_factory=dict)
+    arrays: dict = field(default_factory=dict)
+
+
+def save_checkpoint(
+    path,
+    class_name: str,
+    config: dict,
+    arrays: dict,
+    meta: dict | None = None,
+) -> Path:
+    """Write a versioned checkpoint archive; returns the resolved path.
+
+    ``config`` and ``meta`` must be JSON-serializable; ``arrays`` maps names
+    to numpy arrays.  A ``.npz`` suffix is appended when missing (mirroring
+    ``np.savez``).
+    """
+    header = {
+        "format": FORMAT,
+        "version": VERSION,
+        "class": class_name,
+        "config": config,
+        "meta": meta or {},
+    }
+    try:
+        encoded = json.dumps(header)
+    except TypeError as exc:
+        raise CheckpointError(f"checkpoint header is not JSON-serializable: {exc}")
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload = {_HEADER_KEY: np.asarray(encoded)}
+    for name, arr in arrays.items():
+        if name == _HEADER_KEY:
+            raise CheckpointError(f"array name {name!r} is reserved")
+        payload[name] = np.asarray(arr)
+    np.savez(path, **payload)
+    return path
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Read and validate a checkpoint written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointError` when the file is missing, is not a
+    checkpoint archive, or carries an unsupported format/version header.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists():
+        raise CheckpointError(f"checkpoint file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if _HEADER_KEY not in archive:
+                raise CheckpointError(
+                    f"{path} is not an embedding-method checkpoint (no header)"
+                )
+            header = json.loads(str(archive[_HEADER_KEY]))
+            arrays = {
+                name: archive[name] for name in archive.files if name != _HEADER_KEY
+            }
+    except (OSError, ValueError) as exc:
+        if isinstance(exc, CheckpointError):
+            raise
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}")
+
+    if header.get("format") != FORMAT:
+        raise CheckpointError(
+            f"{path} has format {header.get('format')!r}, expected {FORMAT!r}"
+        )
+    version = header.get("version")
+    if version != VERSION:
+        raise CheckpointError(
+            f"{path} was written with checkpoint version {version}, but this "
+            f"code reads version {VERSION}; re-save the model with a matching "
+            f"release"
+        )
+    return Checkpoint(
+        class_name=header["class"],
+        version=version,
+        config=header.get("config", {}),
+        meta=header.get("meta", {}),
+        arrays=arrays,
+    )
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """JSON-serializable state of a numpy Generator (bit generator + stream)."""
+    return rng.bit_generator.state
+
+
+def restore_rng(state: dict) -> np.random.Generator:
+    """Rebuild a Generator from :func:`rng_state` output."""
+    name = state.get("bit_generator", "PCG64")
+    try:
+        bit_gen = getattr(np.random, name)()
+    except AttributeError:
+        raise CheckpointError(f"unknown bit generator {name!r} in checkpoint")
+    bit_gen.state = state
+    return np.random.Generator(bit_gen)

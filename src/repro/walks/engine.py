@@ -495,20 +495,25 @@ class BatchedWalkEngine:
         length: int,
         rng=None,
         include_context: bool = False,
+        use_cache: bool = True,
     ) -> list[list[Walk]]:
         """``num_walks`` temporal walks per ``(node, anchor)`` pair, batched.
 
         All cache misses are advanced together in one lockstep batch of
         ``misses * num_walks`` walks; hits return the memoized walk set
-        without consuming any randomness.
+        without consuming any randomness.  ``use_cache=False`` bypasses the
+        LRU entirely (neither reads nor writes) — inference paths use this
+        so serving answers never depend on training-cache warmth and never
+        pollute entries training will consume.
         """
         check_positive("num_walks", num_walks)
         rng = ensure_rng(rng)
         nodes = np.asarray(nodes, dtype=_I64)
         anchors = np.asarray(anchors, dtype=np.float64)
         results: list = [None] * nodes.size
+        cached = self.cache is not None and use_cache
         miss = []
-        if self.cache is not None:
+        if cached:
             keys = [
                 ("temporal", int(v), self._time_key(t), num_walks, length, include_context)
                 for v, t in zip(nodes, anchors)
@@ -529,20 +534,27 @@ class BatchedWalkEngine:
             for j, i in enumerate(miss):
                 ws = walks[j * num_walks : (j + 1) * num_walks]
                 results[i] = ws
-                if self.cache is not None:
+                if cached:
                     self.cache.put(keys[i], ws)
         return results
 
     def uniform_walk_sets(
-        self, nodes, num_walks: int, length: int, rng=None
+        self, nodes, num_walks: int, length: int, rng=None, use_cache: bool = True
     ) -> list[list[Walk]]:
-        """``num_walks`` uniform walks per node, batched and cache-aware."""
+        """``num_walks`` uniform walks per node, batched and cache-aware.
+
+        ``use_cache=False`` bypasses the LRU entirely (see
+        :meth:`temporal_walk_sets`); note the uniform cache key carries no
+        anchor, so sharing it between training and inference would make
+        serving answers depend on cache warmth.
+        """
         check_positive("num_walks", num_walks)
         rng = ensure_rng(rng)
         nodes = np.asarray(nodes, dtype=_I64)
         results: list = [None] * nodes.size
+        cached = self.cache is not None and use_cache
         miss = []
-        if self.cache is not None:
+        if cached:
             keys = [("uniform", int(v), num_walks, length) for v in nodes]
             for i, key in enumerate(keys):
                 hit = self.cache.get(key)
@@ -559,6 +571,6 @@ class BatchedWalkEngine:
             for j, i in enumerate(miss):
                 ws = walks[j * num_walks : (j + 1) * num_walks]
                 results[i] = ws
-                if self.cache is not None:
+                if cached:
                     self.cache.put(keys[i], ws)
         return results

@@ -1,0 +1,193 @@
+"""Tests for save()/load() checkpointing (protocol v2)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.base import EmbeddingMethod
+from repro.baselines import CTDNE, HTNE, LINE, DeepWalk, Node2Vec
+from repro.core import EHNA
+from repro.datasets import temporal_sbm
+from repro.utils.checkpoint import (
+    FORMAT,
+    VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+FAST = dict(dim=8, epochs=1, batch_size=32, num_walks=2, walk_length=3,
+            num_negatives=2)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return temporal_sbm(num_nodes=25, num_edges=100, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fitted_ehna(graph):
+    return EHNA(seed=0, **FAST).fit(graph)
+
+
+class TestEHNARoundtrip:
+    def test_embeddings_bitwise_identical(self, fitted_ehna, tmp_path):
+        path = fitted_ehna.save(tmp_path / "m.npz")
+        loaded = EHNA.load(path)
+        np.testing.assert_array_equal(loaded.embeddings(), fitted_ehna.embeddings())
+
+    def test_encode_at_time_bitwise_identical(self, fitted_ehna, graph, tmp_path):
+        path = fitted_ehna.save(tmp_path / "m.npz")
+        loaded = EHNA.load(path)
+        nodes = np.arange(graph.num_nodes)
+        for t in (0.25 * graph.time_span[1], graph.time_span[1] + 5.0):
+            np.testing.assert_array_equal(
+                loaded.encode(nodes, at=t), fitted_ehna.encode(nodes, at=t)
+            )
+
+    def test_config_and_history_roundtrip(self, fitted_ehna, tmp_path):
+        path = fitted_ehna.save(tmp_path / "m.npz")
+        loaded = EHNA.load(path)
+        assert loaded.config == fitted_ehna.config
+        assert loaded.loss_history == pytest.approx(fitted_ehna.loss_history)
+        assert loaded.name == fitted_ehna.name
+
+    def test_graph_roundtrip(self, fitted_ehna, graph, tmp_path):
+        path = fitted_ehna.save(tmp_path / "m.npz")
+        loaded = EHNA.load(path)
+        assert loaded.graph.num_nodes == graph.num_nodes
+        np.testing.assert_array_equal(loaded.graph.src, graph.src)
+        np.testing.assert_array_equal(loaded.graph.time, graph.time)
+
+    def test_loaded_model_can_partial_fit(self, fitted_ehna, graph, tmp_path):
+        path = fitted_ehna.save(tmp_path / "m.npz")
+        loaded = EHNA.load(path)
+        t_hi = graph.time_span[1]
+        loaded.partial_fit(([0, 1], [5, 6], [t_hi + 1.0, t_hi + 2.0]))
+        assert loaded.graph.num_edges == graph.num_edges + 2
+        assert np.all(np.isfinite(loaded.embeddings()))
+
+    def test_rng_stream_roundtrips(self, graph, tmp_path):
+        model = EHNA(seed=42, **FAST).fit(graph)
+        path = model.save(tmp_path / "m.npz")
+        # The restored stream continues exactly where the saved one stopped.
+        expected = model._rng.integers(1 << 30, size=4)
+        got = EHNA.load(path)._rng.integers(1 << 30, size=4)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_unfitted_save_raises(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fit"):
+            EHNA(**FAST).save(tmp_path / "m.npz")
+
+    def test_cached_model_serves_independent_of_cache_warmth(self, graph, tmp_path):
+        """With a walk cache, fit warms entries the cold loaded model lacks;
+        encode must bypass the cache so both serve bitwise-identical rows."""
+        model = EHNA(seed=0, walk_cache_size=64, **FAST).fit(graph)
+        loaded = EHNA.load(model.save(tmp_path / "m.npz"))
+        nodes = np.arange(graph.num_nodes)
+        lo, hi = graph.time_span
+        for anchor in (lo - 1.0, 0.5 * (lo + hi), hi + 1.0):
+            np.testing.assert_array_equal(
+                loaded.encode(nodes, at=anchor), model.encode(nodes, at=anchor)
+            )
+
+    def test_encode_does_not_pollute_walk_cache(self, graph):
+        model = EHNA(seed=0, walk_cache_size=64, **FAST).fit(graph)
+        before = len(model.engine.cache)
+        model.encode(np.arange(graph.num_nodes), at=0.5 * sum(graph.time_span))
+        assert len(model.engine.cache) == before
+
+    def test_base_class_load_dispatches(self, fitted_ehna, tmp_path):
+        path = fitted_ehna.save(tmp_path / "m.npz")
+        loaded = EmbeddingMethod.load(path)
+        assert isinstance(loaded, EHNA)
+
+    def test_wrong_class_load_rejected(self, fitted_ehna, tmp_path):
+        path = fitted_ehna.save(tmp_path / "m.npz")
+        with pytest.raises(CheckpointError, match="EHNA"):
+            LINE.load(path)
+
+
+class TestBaselineRoundtrips:
+    @pytest.mark.parametrize("cls,kw", [
+        (Node2Vec, dict(num_walks=2, walk_length=6, epochs=1)),
+        (DeepWalk, dict(num_walks=2, walk_length=6, epochs=1)),
+        (CTDNE, dict(walks_per_node=2, walk_length=6, epochs=1)),
+        (LINE, dict(samples_per_edge=2)),
+        (HTNE, dict(epochs=1)),
+    ])
+    def test_embeddings_and_encode_bitwise(self, cls, kw, graph, tmp_path):
+        model = cls(dim=8, seed=0, **kw).fit(graph)
+        path = model.save(tmp_path / "m.npz")
+        loaded = EmbeddingMethod.load(path)
+        assert type(loaded) is cls
+        np.testing.assert_array_equal(loaded.embeddings(), model.embeddings())
+        np.testing.assert_array_equal(
+            loaded.encode([0, 3], at=1.0), model.encode([0, 3], at=1.0)
+        )
+
+    def test_htne_decay_roundtrips(self, graph, tmp_path):
+        model = HTNE(dim=8, epochs=1, seed=0).fit(graph)
+        path = model.save(tmp_path / "m.npz")
+        assert HTNE.load(path).decay == model.decay
+
+
+class TestHeaderValidation:
+    def _ehna_path(self, fitted, tmp_path):
+        return fitted.save(tmp_path / "m.npz")
+
+    def test_wrong_version_rejected_clearly(self, fitted_ehna, tmp_path):
+        path = self._ehna_path(fitted_ehna, tmp_path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        header = json.loads(str(payload["__checkpoint_header__"]))
+        header["version"] = VERSION + 17
+        payload["__checkpoint_header__"] = np.asarray(json.dumps(header))
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="version"):
+            EHNA.load(path)
+
+    def test_wrong_format_rejected(self, fitted_ehna, tmp_path):
+        path = self._ehna_path(fitted_ehna, tmp_path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        header = json.loads(str(payload["__checkpoint_header__"]))
+        header["format"] = "something.else"
+        payload["__checkpoint_header__"] = np.asarray(json.dumps(header))
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="format"):
+            EHNA.load(path)
+
+    def test_not_a_checkpoint_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError, match="header"):
+            load_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_unknown_class_rejected(self, tmp_path):
+        save_checkpoint(tmp_path / "m.npz", "NoSuchMethod", {}, {}, {"rng_state": {}})
+        with pytest.raises(CheckpointError, match="NoSuchMethod"):
+            EmbeddingMethod.load(tmp_path / "m.npz")
+
+    def test_header_format_constant(self):
+        assert FORMAT == "repro.embedding_method"
+        assert VERSION == 2
+
+    def test_suffix_appended(self, fitted_ehna, tmp_path):
+        path = fitted_ehna.save(tmp_path / "model")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_corrupted_array_shape_rejected(self, fitted_ehna, tmp_path):
+        path = self._ehna_path(fitted_ehna, tmp_path)
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["embedding"] = np.zeros((3, 3))
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="shape"):
+            EHNA.load(path)

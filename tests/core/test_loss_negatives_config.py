@@ -144,12 +144,21 @@ class TestConfig:
             ("epochs", 0),
             ("lr", 0.0),
             ("time_eps", 0.0),
+            ("network_lr", 0.0),
+            ("network_lr", -1e-4),
+            ("grad_clip", -1.0),
         ],
     )
     def test_rejects_bad_values(self, field, value):
         cfg = EHNAConfig(**{field: value})
         with pytest.raises(ValueError):
             cfg.validate()
+
+    def test_network_lr_none_is_valid(self):
+        EHNAConfig(network_lr=None).validate()  # resolved to lr/20 at fit time
+
+    def test_positive_network_lr_and_grad_clip_valid(self):
+        EHNAConfig(network_lr=1e-5, grad_clip=0.5).validate()
 
     def test_single_level_requires_single_layer(self):
         with pytest.raises(ValueError, match="EHNA-SL"):

@@ -87,6 +87,13 @@ class TestTraining:
         model = EHNA(seed=0, bidirectional=False, **FAST).fit(small_graph)
         assert np.all(np.isfinite(model.embeddings()))
 
+    def test_grad_clip_zero_means_no_clipping(self, small_graph):
+        """grad_clip=0 must disable clipping, not clip every gradient to 0
+        (which would silently freeze training at the initial loss)."""
+        model = EHNA(seed=0, grad_clip=0.0, **{**FAST, "epochs": 2})
+        model.fit(small_graph)
+        assert model.loss_history[1] != model.loss_history[0]
+
     def test_linked_nodes_closer_than_random(self, small_graph):
         """After training, mean distance over edges should be below the mean
         distance over random non-adjacent pairs (the Eq. 7 objective)."""

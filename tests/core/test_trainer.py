@@ -1,0 +1,158 @@
+"""Tests for the shared Trainer loop and its callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.core.trainer import (
+    EarlyStopping,
+    LambdaCallback,
+    Trainer,
+    TrainerCallback,
+    TrainState,
+    VerboseCallback,
+    with_verbose,
+)
+
+
+class TestLoop:
+    def test_batches_cover_every_item_once_per_epoch(self):
+        seen = []
+        trainer = Trainer(epochs=2, batch_size=4, rng=0, shuffle=False)
+        trainer.run(lambda b: seen.append(b.copy()) or 0.0, num_items=10)
+        per_epoch = np.concatenate(seen[:3]), np.concatenate(seen[3:])
+        for items in per_epoch:
+            np.testing.assert_array_equal(np.sort(items), np.arange(10))
+        assert [b.size for b in seen] == [4, 4, 2, 4, 4, 2]
+
+    def test_shuffle_uses_rng(self):
+        orders = []
+        trainer = Trainer(epochs=1, batch_size=100, rng=0)
+        trainer.run(lambda b: orders.append(b.copy()) or 0.0, num_items=50)
+        assert not np.array_equal(orders[0], np.arange(50))
+
+    def test_weighted_epoch_mean(self):
+        # Batches of 4 and 2 items with losses 1.0 and 4.0: the weighted
+        # mean is (4*1 + 2*4) / 6 = 2.0, not the unweighted 2.5.
+        losses = iter([1.0, 4.0])
+        trainer = Trainer(epochs=1, batch_size=4, rng=0, shuffle=False)
+        history = trainer.run(lambda b: next(losses), num_items=6)
+        assert history == [pytest.approx(2.0)]
+
+    def test_epoch_items_regenerated(self):
+        calls = []
+
+        def epoch_items(epoch, rng):
+            calls.append(epoch)
+            return np.arange(3) + 10 * epoch
+
+        got = []
+        trainer = Trainer(epochs=3, batch_size=8, rng=0, shuffle=False)
+        trainer.run(lambda b: got.append(b.copy()) or 0.0, epoch_items=epoch_items)
+        assert calls == [0, 1, 2]
+        np.testing.assert_array_equal(got[2], [20, 21, 22])
+
+    def test_rejects_both_item_specs(self):
+        trainer = Trainer(epochs=1, batch_size=4, rng=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            trainer.run(lambda b: 0.0, num_items=5, epoch_items=lambda e, r: [1])
+        with pytest.raises(ValueError, match="exactly one"):
+            trainer.run(lambda b: 0.0)
+
+    def test_rejects_bad_callback(self):
+        with pytest.raises(TypeError, match="on_epoch_end"):
+            Trainer(epochs=1, batch_size=4, callbacks=[object()])
+
+
+class TestCallbacks:
+    def test_on_epoch_end_sees_state(self):
+        states: list[TrainState] = []
+        trainer = Trainer(
+            epochs=2,
+            batch_size=4,
+            rng=0,
+            callbacks=[LambdaCallback(lambda s: states.append(s) and None)],
+            name="probe",
+        )
+        trainer.run(lambda b: 1.5, num_items=8)
+        assert [s.epoch for s in states] == [1, 2]
+        assert states[0].epochs == 2
+        assert states[0].name == "probe"
+        assert states[0].mean_loss == pytest.approx(1.5)
+        assert states[1].history == [pytest.approx(1.5)] * 2
+
+    def test_stop_vote_ends_training(self):
+        trainer = Trainer(
+            epochs=10,
+            batch_size=4,
+            rng=0,
+            callbacks=[LambdaCallback(lambda s: s.epoch >= 3)],
+        )
+        history = trainer.run(lambda b: 1.0, num_items=8)
+        assert len(history) == 3
+
+    def test_all_callbacks_run_even_after_stop_vote(self):
+        seen = []
+        trainer = Trainer(
+            epochs=5,
+            batch_size=4,
+            rng=0,
+            callbacks=[
+                LambdaCallback(lambda s: True),  # immediate stop vote
+                LambdaCallback(lambda s: seen.append(s.epoch) and None),
+            ],
+        )
+        trainer.run(lambda b: 1.0, num_items=8)
+        assert seen == [1]
+
+    def test_early_stopping_patience(self):
+        losses = iter([3.0, 2.0, 2.0, 2.0, 1.0])
+        trainer = Trainer(
+            epochs=5,
+            batch_size=8,
+            rng=0,
+            callbacks=[EarlyStopping(patience=2)],
+        )
+        history = trainer.run(lambda b: next(losses), num_items=8)
+        # Improvement at epoch 2, then two stale epochs -> stop after 4.
+        assert len(history) == 4
+
+    def test_early_stopping_resets_between_runs(self):
+        # One instance reused across fit + partial_fit: the first run's
+        # converged best must not abort the second run's fresh losses.
+        cb = EarlyStopping(patience=2)
+        Trainer(epochs=3, batch_size=8, rng=0, callbacks=[cb]).run(
+            lambda b: 0.1, num_items=8
+        )
+        losses = iter([0.9, 0.8, 0.7, 0.6, 0.5])
+        history = Trainer(epochs=5, batch_size=8, rng=0, callbacks=[cb]).run(
+            lambda b: next(losses), num_items=8
+        )
+        assert len(history) == 5
+
+    def test_early_stopping_min_delta(self):
+        losses = iter([3.0, 2.999, 2.998])
+        trainer = Trainer(
+            epochs=3,
+            batch_size=8,
+            rng=0,
+            callbacks=[EarlyStopping(patience=2, min_delta=0.1)],
+        )
+        history = trainer.run(lambda b: next(losses), num_items=8)
+        assert len(history) == 3  # sub-delta improvements count as stale
+
+    def test_verbose_callback_prints(self, capsys):
+        trainer = Trainer(
+            epochs=1, batch_size=4, rng=0, callbacks=[VerboseCallback()], name="EHNA"
+        )
+        trainer.run(lambda b: 0.25, num_items=4)
+        assert "[EHNA] epoch 1/1 loss=0.2500" in capsys.readouterr().out
+
+    def test_with_verbose_helper(self):
+        base = (EarlyStopping(),)
+        assert with_verbose(base, False) == list(base)
+        extended = with_verbose(base, True)
+        assert isinstance(extended[-1], VerboseCallback)
+
+    def test_base_callback_is_noop(self):
+        state = TrainState(epoch=1, epochs=1, mean_loss=0.0)
+        assert TrainerCallback().on_epoch_end(state) is None

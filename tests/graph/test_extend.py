@@ -1,0 +1,104 @@
+"""Tests for TemporalGraph.extend — the partial_fit streaming path."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph
+
+
+def base_graph() -> TemporalGraph:
+    return TemporalGraph.from_edges(
+        src=np.array([0, 1, 2, 0]),
+        dst=np.array([1, 2, 3, 2]),
+        time=np.array([1.0, 2.0, 3.0, 4.0]),
+        weight=np.array([1.0, 2.0, 1.0, 3.0]),
+    )
+
+
+class TestExtend:
+    def test_appends_and_sorts(self):
+        g = base_graph()
+        g2, fresh = g.extend([3], [0], [2.5])
+        assert g2.num_edges == 5
+        assert np.all(np.diff(g2.time) >= 0)
+        # The arrival with t=2.5 lands between t=2 and t=3.
+        assert fresh.tolist() == [2]
+        assert g2.src[2] == 3 and g2.dst[2] == 0
+
+    def test_original_untouched(self):
+        g = base_graph()
+        g.extend([3], [0], [10.0])
+        assert g.num_edges == 4
+
+    def test_fresh_ids_index_new_graph(self):
+        g = base_graph()
+        src, dst, t = [1, 0], [3, 3], [0.5, 9.0]
+        g2, fresh = g.extend(src, dst, t)
+        assert fresh.size == 2
+        np.testing.assert_array_equal(np.sort(g2.time[fresh]), [0.5, 9.0])
+        pairs = {(int(g2.src[e]), int(g2.dst[e])) for e in fresh}
+        assert pairs == {(1, 3), (0, 3)}
+
+    def test_equal_times_append_after_existing(self):
+        g = base_graph()
+        g2, fresh = g.extend([3], [1], [2.0])  # ties with the existing t=2 edge
+        assert fresh.tolist() == [2]  # stable: after the old t=2 edge (id 1)
+        assert g2.src[1] == 1 and g2.dst[1] == 2
+
+    def test_new_nodes_grow_id_space(self):
+        g = base_graph()
+        g2, _ = g.extend([0], [7], [5.0])
+        assert g2.num_nodes == 8
+        assert g.num_nodes == 4
+
+    def test_num_nodes_headroom(self):
+        g = base_graph()
+        g2, _ = g.extend([0], [1], [5.0], num_nodes=100)
+        assert g2.num_nodes == 100
+
+    def test_num_nodes_too_small_rejected(self):
+        g = base_graph()
+        with pytest.raises(ValueError, match="num_nodes"):
+            g.extend([0], [7], [5.0], num_nodes=5)
+
+    def test_empty_batch_is_noop(self):
+        g = base_graph()
+        g2, fresh = g.extend([], [], [])
+        assert g2 is g
+        assert fresh.size == 0
+
+    def test_incidence_rebuilt(self):
+        g = base_graph()
+        g2, _ = g.extend([3], [0], [5.0])
+        nbrs, times, _ = g2.events_before(3, 6.0)
+        assert 0 in nbrs.tolist()
+        assert g2.degrees()[3] == g.degrees()[3] + 1
+
+    @pytest.mark.parametrize(
+        "src,dst,t,w",
+        [
+            ([0], [0], [1.0], None),  # self-loop
+            ([0], [1], [np.inf], None),  # non-finite time
+            ([0], [1], [1.0], [0.0]),  # non-positive weight
+            ([-1], [1], [1.0], None),  # negative id
+        ],
+    )
+    def test_invalid_edges_rejected(self, src, dst, t, w):
+        g = base_graph()
+        with pytest.raises(ValueError):
+            g.extend(src, dst, t, w)
+
+    def test_extend_matches_from_edges(self):
+        """Extending must equal building the union graph from scratch."""
+        g = base_graph()
+        g2, _ = g.extend([3, 1], [0, 3], [2.5, 0.25], weight=[2.0, 1.0])
+        union = TemporalGraph.from_edges(
+            src=np.array([0, 1, 2, 0, 3, 1]),
+            dst=np.array([1, 2, 3, 2, 0, 3]),
+            time=np.array([1.0, 2.0, 3.0, 4.0, 2.5, 0.25]),
+            weight=np.array([1.0, 2.0, 1.0, 3.0, 2.0, 1.0]),
+        )
+        np.testing.assert_array_equal(g2.src, union.src)
+        np.testing.assert_array_equal(g2.dst, union.dst)
+        np.testing.assert_array_equal(g2.time, union.time)
+        np.testing.assert_array_equal(g2.weight, union.weight)

@@ -50,21 +50,57 @@ def test_top_level_exports():
     assert callable(repro.TemporalGraph.from_edges)
 
 
-@pytest.mark.parametrize(
-    "name",
-    [
-        "repro.core.EHNA",
-        "repro.baselines.Node2Vec",
-        "repro.baselines.CTDNE",
-        "repro.baselines.LINE",
-        "repro.baselines.HTNE",
-    ],
-)
+METHOD_CLASSES = [
+    "repro.core.EHNA",
+    "repro.baselines.Node2Vec",
+    "repro.baselines.DeepWalk",
+    "repro.baselines.CTDNE",
+    "repro.baselines.LINE",
+    "repro.baselines.HTNE",
+]
+
+
+def _resolve(name):
+    module, _, cls_name = name.rpartition(".")
+    return getattr(importlib.import_module(module), cls_name)
+
+
+@pytest.mark.parametrize("name", METHOD_CLASSES)
 def test_methods_implement_protocol(name):
     from repro.base import EmbeddingMethod
 
-    module, _, cls_name = name.rpartition(".")
-    cls = getattr(importlib.import_module(module), cls_name)
+    cls = _resolve(name)
     assert issubclass(cls, EmbeddingMethod)
     assert cls.name  # human-readable label for result tables
     assert cls.fit.__doc__ or EmbeddingMethod.fit.__doc__
+
+
+@pytest.mark.parametrize("name", METHOD_CLASSES)
+def test_methods_implement_v2_surface(name):
+    """Every method exposes encode/partial_fit/save/load and the hooks
+    behind them (the same contract tools/check_api.py gates in make test)."""
+    from repro.base import EmbeddingMethod
+
+    cls = _resolve(name)
+    for attr in ("encode", "partial_fit", "save", "load", "embedding_of"):
+        assert callable(getattr(cls, attr, None)), f"{name} lacks {attr}()"
+    for hook in ("_apply_partial_fit", "_config_dict", "_state_dict",
+                 "_load_state_dict"):
+        assert getattr(cls, hook) is not getattr(EmbeddingMethod, hook), (
+            f"{name} inherits the base-class stub for {hook}"
+        )
+
+
+def test_check_api_tool_passes():
+    """The make-test gate itself agrees the roster is protocol-complete."""
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parent.parent
+    out = subprocess.run(
+        [sys.executable, str(root / "tools" / "check_api.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert out.returncode == 0, out.stderr

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Assert every ``EmbeddingMethod`` subclass implements the v2 surface.
+
+The v2 protocol (see ``src/repro/base.py`` and docs/architecture.md) is the
+contract the serving layer and the experiment harnesses rely on: every
+method must expose ``fit`` / ``embeddings`` / ``encode`` / ``partial_fit``
+/ ``save`` / ``load``, and must override the four checkpoint/streaming
+hooks the base class leaves abstract (``_config_dict``, ``_state_dict``,
+``_load_state_dict``, ``_apply_partial_fit``).  This gate keeps a new
+baseline from silently shipping with half a protocol.
+
+Run directly or via ``make api-check`` (part of the default ``make test``
+path); exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: Public methods every embedding method must expose.
+REQUIRED_CALLABLES = (
+    "fit",
+    "embeddings",
+    "embedding_of",
+    "encode",
+    "partial_fit",
+    "save",
+    "load",
+)
+
+#: Base-class stubs each concrete method must override (directly or via a
+#: shared mixin/parent) for partial_fit and save/load to actually work.
+REQUIRED_OVERRIDES = (
+    "_apply_partial_fit",
+    "_config_dict",
+    "_state_dict",
+    "_load_state_dict",
+)
+
+
+def all_method_classes():
+    """Every concrete EmbeddingMethod subclass in the standard roster."""
+    import repro.baselines  # noqa: F401 — registers the baselines
+    import repro.core  # noqa: F401 — registers EHNA
+
+    from repro.base import EmbeddingMethod
+
+    found = []
+    stack = list(EmbeddingMethod.__subclasses__())
+    while stack:
+        klass = stack.pop()
+        stack.extend(klass.__subclasses__())
+        if not getattr(klass, "__abstractmethods__", None):
+            found.append(klass)
+    return sorted(set(found), key=lambda c: c.__name__)
+
+
+def check_class(klass) -> list[str]:
+    from repro.base import EmbeddingMethod
+
+    problems = []
+    name = klass.__name__
+    if not isinstance(getattr(klass, "name", None), str) or not klass.name:
+        problems.append(f"{name}: missing a non-empty .name label")
+    for attr in REQUIRED_CALLABLES:
+        if not callable(getattr(klass, attr, None)):
+            problems.append(f"{name}: missing callable {attr}()")
+    for hook in REQUIRED_OVERRIDES:
+        if getattr(klass, hook, None) is getattr(EmbeddingMethod, hook):
+            problems.append(
+                f"{name}: inherits the base-class stub for {hook} — "
+                "partial_fit/save/load would raise NotImplementedError"
+            )
+    try:
+        klass()
+    except Exception as exc:  # default construction must work for load()
+        problems.append(f"{name}: default construction failed: {exc}")
+    return problems
+
+
+def main() -> int:
+    classes = all_method_classes()
+    if len(classes) < 5:
+        print(
+            f"api-check: expected at least 5 embedding methods, found "
+            f"{[c.__name__ for c in classes]}",
+            file=sys.stderr,
+        )
+        return 1
+    failures = 0
+    for klass in classes:
+        problems = check_class(klass)
+        if problems:
+            failures += 1
+            for line in problems:
+                print(f"api-check: {line}", file=sys.stderr)
+        else:
+            print(f"api-check: {klass.__name__} implements the v2 surface")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

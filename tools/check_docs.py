@@ -21,6 +21,11 @@ ROOT = Path(__file__).resolve().parent.parent
 #: (README heading, fence language, mirrored file) triples to keep in sync.
 MIRRORS = [
     ("## 60-second quickstart", "python", "examples/quickstart.py"),
+    (
+        "## Serving embeddings at a point in time",
+        "python",
+        "examples/serving_point_in_time.py",
+    ),
 ]
 
 
@@ -74,7 +79,7 @@ def main() -> int:
             )
             failures += 1
         else:
-            print(f"docs-check: README quickstart matches {rel}")
+            print(f"docs-check: README block under {heading!r} matches {rel}")
     return 1 if failures else 0
 
 

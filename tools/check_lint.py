@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Run ruff (pinned) over the whole tree, skipping cleanly when absent.
+
+The repo vendors no third-party tooling, so ruff may not exist in every
+environment (the offline test container, for one).  This wrapper keeps
+``make lint`` meaningful everywhere:
+
+- ruff importable → run ``ruff check`` with the pinned rule set; non-zero
+  on findings.  A major-version drift from :data:`PINNED` is reported as a
+  warning (rule sets shift between majors) but the check still runs.
+- ruff missing → print a skip notice and exit 0, so the default ``make
+  test`` path stays green offline while CI images with ruff get the real
+  check.
+
+Rules are configured here (via command line) rather than in pyproject.toml
+so the pin and the policy live in one reviewable place.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: The ruff version this repo is linted against.
+PINNED = "0.6.9"
+
+#: What we lint: correctness-oriented rule families, not formatting.
+#: E4/E7/E9 (pycodestyle errors), F (pyflakes), B (bugbear basics).
+SELECT = "E4,E7,E9,F,B"
+
+TARGETS = ["src", "tests", "tools", "benchmarks", "examples"]
+
+
+def ruff_version() -> str | None:
+    try:
+        out = subprocess.run(
+            [sys.executable, "-m", "ruff", "--version"],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+    except OSError:
+        return None
+    if out.returncode != 0:
+        return None
+    # "ruff 0.6.9" -> "0.6.9"
+    return out.stdout.strip().split()[-1]
+
+
+def main() -> int:
+    version = ruff_version()
+    if version is None:
+        print(f"lint: ruff not installed; skipping (pinned {PINNED})")
+        return 0
+    if version.split(".")[:2] != PINNED.split(".")[:2]:
+        print(
+            f"lint: warning: ruff {version} differs from pinned {PINNED}; "
+            "findings may drift",
+            file=sys.stderr,
+        )
+    cmd = [
+        sys.executable,
+        "-m",
+        "ruff",
+        "check",
+        "--select",
+        SELECT,
+        *TARGETS,
+    ]
+    print("lint:", " ".join(cmd[1:]))
+    return subprocess.run(cmd, cwd=ROOT).returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())
