@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-all docs-check quickstart lint api-check
+.PHONY: test bench bench-train bench-all docs-check quickstart lint api-check
 
 ## Tier-1 test suite (the gate every change must keep green).  Runs the
 ## protocol-v2 surface check and the (ruff-when-available) linter first.
@@ -22,6 +22,11 @@ lint:
 ## Fast walk-engine benchmark (asserts the >=5x batched speedup).
 bench:
 	$(PY) -m pytest benchmarks/bench_walk_engine.py -q -s
+
+## Train-step benchmark (asserts the >=3x fused-pipeline speedup and the
+## fused-vs-baseline loss-trajectory match).
+bench-train:
+	$(PY) -m pytest benchmarks/bench_train_step.py -q -s
 
 ## Every benchmark, including full experiment regenerations (slow).
 bench-all:

@@ -87,18 +87,21 @@ def parse_edge_batch(edges):
     return arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2], weight
 
 
-def resolve_anchors(graph: TemporalGraph, nodes: np.ndarray, at) -> list:
+def resolve_anchors(graph: TemporalGraph, nodes: np.ndarray, at):
     """Per-node anchor times for ``encode(nodes, at)``.
 
     ``at`` may be ``None`` (each node's last event time — the
-    ``embeddings()`` anchor; isolated nodes get ``None``), a scalar applied
-    to every node, or a sequence aligned with ``nodes`` (entries may be
-    ``None`` to request the historyless fallback).
+    ``embeddings()`` anchor; isolated nodes get a missing anchor), a scalar
+    applied to every node, or a sequence aligned with ``nodes`` (entries may
+    be ``None`` to request the historyless fallback).  Returns a float
+    array with ``NaN`` marking missing anchors for the ``None``/scalar
+    forms (both resolved in one vectorized pass), or an aligned list for
+    the sequence form.
     """
     if at is None:
-        return [graph.last_event_time(int(v)) for v in nodes]
+        return graph.last_event_times(nodes)
     if isinstance(at, (int, float, np.integer, np.floating)):
-        return [float(at)] * nodes.size
+        return np.full(nodes.size, float(at))
     anchors = list(at)
     if len(anchors) != nodes.size:
         raise ValueError(

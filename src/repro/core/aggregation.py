@@ -16,11 +16,16 @@ Walks of different lengths are padded and masked; masked LSTM steps carry
 state through unchanged.  With ``two_level=False`` (the EHNA-SL ablation) the
 caller merges each target's walks into one long sequence and step 3 is
 skipped — ``h`` itself becomes the neighborhood summary.
+
+:func:`batch_walks` is the *reference* ``Walk``-list padding path; the
+training fast path receives :class:`~repro.walks.base.WalkBatch` arrays
+directly from the walk engine (``temporal_walk_batch``), bitwise-equal for
+the same walks.  Likewise the aggregator's LSTMs default to the fused
+single-node BPTT kernel (``fused=True``) with the stepwise graph kept as the
+gradcheck-verified reference.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,30 +33,9 @@ from repro.core.attention import node_attention, walk_attention, walk_factors
 from repro.nn.layers import BatchNorm1d, Linear, Module, StackedLSTM
 from repro.nn.tensor import Tensor, concat
 from repro.utils.rng import ensure_rng
-from repro.walks.base import Walk
+from repro.walks.base import Walk, WalkBatch
 
-
-@dataclass
-class WalkBatch:
-    """Padded walk arrays ready for the aggregator.
-
-    ``ids``/``valid``/``time_sums`` all have shape ``(W, T)`` where ``W`` is
-    the total number of walks in the batch and ``T`` the longest walk; ``k``
-    walks per target, so ``W = B * k``.
-    """
-
-    ids: np.ndarray
-    valid: np.ndarray
-    time_sums: np.ndarray
-    k: int
-
-    @property
-    def num_walks(self) -> int:
-        return self.ids.shape[0]
-
-    @property
-    def max_len(self) -> int:
-        return self.ids.shape[1]
+__all__ = ["WalkBatch", "batch_walks", "TwoLevelAggregator"]
 
 
 def _walk_rows(walk: Walk, scale, chronological: bool) -> tuple[list[int], np.ndarray]:
@@ -124,13 +108,27 @@ class TwoLevelAggregator(Module):
     ``dim`` doubles as the LSTM hidden size: Eq. 4 measures Euclidean
     distance between the target embedding ``e_x`` and walk representations
     ``h_r``, which forces the two spaces to share a dimension.
+
+    ``fused=True`` (the default) runs both LSTMs through the single-node
+    fused BPTT kernel (:func:`repro.nn.layers.fused_stacked_lstm`); the
+    stepwise per-timestep graph remains available as the gradcheck-verified
+    reference (``fused=False``).  The two paths are numerically equivalent —
+    same parameters, same outputs, same gradients.
     """
 
-    def __init__(self, dim: int, lstm_layers: int = 2, two_level: bool = True, rng=None):
+    def __init__(
+        self,
+        dim: int,
+        lstm_layers: int = 2,
+        two_level: bool = True,
+        rng=None,
+        fused: bool = True,
+    ):
         super().__init__()
         rng = ensure_rng(rng)
         self.dim = dim
         self.two_level = two_level
+        self.fused = bool(fused)
         self.node_lstm = StackedLSTM(dim, dim, lstm_layers, rng)
         self.node_bn = BatchNorm1d(dim)
         if two_level:
@@ -177,8 +175,11 @@ class TwoLevelAggregator(Module):
         else:
             weighted = walk_embs * Tensor(batch.valid.reshape((n_walks, max_len, 1)))
 
-        steps = [weighted[:, t, :] for t in range(max_len)]
-        _, h = self.node_lstm(steps, mask=batch.valid.T)
+        if self.fused:
+            h = self.node_lstm.fused(weighted, mask=batch.valid)
+        else:
+            steps = [weighted[:, t, :] for t in range(max_len)]
+            _, h = self.node_lstm(steps, mask=batch.valid.T)
         h = self.node_bn(h).relu()  # (W, dim) — the h_r of line 4
 
         # -- walk level (lines 5-6) -------------------------------------
@@ -193,8 +194,11 @@ class TwoLevelAggregator(Module):
                 )
             else:
                 h_w = h.reshape((n_targets, k, self.dim))
-            walk_steps = [h_w[:, i, :] for i in range(k)]
-            _, summary = self.walk_lstm(walk_steps)
+            if self.fused:
+                summary = self.walk_lstm.fused(h_w)
+            else:
+                walk_steps = [h_w[:, i, :] for i in range(k)]
+                _, summary = self.walk_lstm(walk_steps)
             summary = self.walk_bn(summary)  # the H of line 6
         else:
             if k != 1:

@@ -68,6 +68,25 @@ class EHNAConfig:
     # Loss geometry: "euclidean" (the paper's metric-space argument) or
     # "dot" (the word2vec-style similarity it argues against; ablation).
     objective: str = "euclidean"
+    # Fused aggregation kernels: array-native WalkBatch construction in the
+    # walk engine plus the single-node BPTT LSTM.  Numerically equivalent to
+    # the reference path (Walk objects + batch_walks + stepwise StackedLSTM),
+    # which False selects for ablations and the training-math smoke gate.
+    fused_kernels: bool = True
+    # One grouped aggregation per training batch (positives + every negative
+    # group in a single walk-engine call / padding / LSTM launch / backward).
+    # False restores the pre-fusion three-call step — the benchmark baseline.
+    # Unlike fused_kernels this switch changes the loss trajectory slightly:
+    # batch-norm statistics are computed per aggregator call, and negatives
+    # are drawn from the shared RNG stream before (not after) the positive
+    # walks, so the two paths sample different negatives/walks.
+    one_pass: bool = True
+    # Collapse repeated (node, anchor) pairs inside a grouped aggregation to
+    # one walk set + one aggregation, scattered back to every occurrence.
+    # Saves work when negatives collide or both endpoints repeat in a batch,
+    # at the cost of those occurrences sharing one neighborhood sample
+    # (slightly lower gradient variance reduction); off by default.
+    dedup_aggregations: bool = False
 
     def validate(self) -> "EHNAConfig":
         """Raise ``ValueError`` on inconsistent settings; return self."""

@@ -111,7 +111,7 @@ class EHNA(EmbeddingMethod):
         self.graph = graph
         self.embedding = Embedding(graph.num_nodes, cfg.dim, rng)
         self.aggregator = TwoLevelAggregator(
-            cfg.dim, cfg.lstm_layers, cfg.two_level, rng
+            cfg.dim, cfg.lstm_layers, cfg.two_level, rng, fused=cfg.fused_kernels
         )
         self._build_sampling(graph)
 
@@ -163,12 +163,16 @@ class EHNA(EmbeddingMethod):
             chronological=cfg.chronological,
             merge=not cfg.two_level,
         )
+        return self._aggregate_batch(targets, batch, use_attention)
+
+    def _aggregate_batch(self, targets: np.ndarray, batch, use_attention: bool):
+        """One aggregator launch over an already padded :class:`WalkBatch`."""
         return self.aggregator(
             self.embedding,
             targets,
             batch,
             use_attention=use_attention,
-            time_eps=cfg.time_eps,
+            time_eps=self.config.time_eps,
         )
 
     def _grouped_aggregate(self, nodes, times, include_context: bool = False, rng=None):
@@ -177,86 +181,218 @@ class EHNA(EmbeddingMethod):
         Nodes with historical interactions before their anchor time go
         through the temporal walk + attention path; the rest (and everything
         when ``temporal_walks=False``, the EHNA-RW ablation) go through
-        uniform walks without attention.  ``times[i] is None`` forces the
-        fallback.  Returns a ``(len(nodes), dim)`` tensor whose rows line up
-        with ``nodes``.
+        uniform walks without attention.  ``times`` is a float anchor array
+        (``NaN`` forces the fallback) or an aligned sequence whose ``None``
+        entries mean the same.  Returns a ``(len(nodes), dim)`` tensor whose
+        rows line up with ``nodes``.
 
-        Walk generation is batched: one lockstep engine call samples the
-        temporal walks of every eligible node in the batch, and a second one
-        covers the uniform fallback/ablation walks.  ``rng`` defaults to the
-        training stream; inference paths pass their own generator so serving
-        queries never perturb training reproducibility — and those calls
-        also bypass the walk cache, so answers never depend on (or change)
-        training-cache warmth.
+        With ``dedup_aggregations`` enabled, repeated ``(node, anchor)``
+        pairs are aggregated once and scattered back to every occurrence
+        (the getitem backward accumulates their gradients), trading
+        per-occurrence neighborhood resampling for less work.
+
+        ``rng`` defaults to the training stream; inference paths pass their
+        own generator so serving queries never perturb training
+        reproducibility — and those calls also bypass the walk cache, so
+        answers never depend on (or change) training-cache warmth.
         """
-        cfg = self.config
         use_cache = rng is None  # explicit rng == inference: no cache
         rng = self._rng if rng is None else rng
-        temporal_idx: list[int] = []
-        temporal_sets: list[list[Walk]] = []
-        static_idx: list[int] = []
-        static_sets: list[list[Walk]] = []
+        nodes = np.asarray(nodes, dtype=np.int64)
+        anchors = _anchor_array(times, nodes.size)
 
-        eligible = [
-            i
-            for i, t in enumerate(times)
-            if self.temporal_walker is not None and t is not None
-        ]
-        eligible_set = set(eligible)
-        need_static: list[int] = [i for i in range(len(nodes)) if i not in eligible_set]
-        if eligible:
-            sets = self.engine.temporal_walk_sets(
-                np.asarray(nodes)[eligible],
-                np.array([float(times[i]) for i in eligible]),
-                cfg.num_walks,
-                cfg.walk_length,
-                rng,
-                include_context=include_context,
-                use_cache=use_cache,
-            )
-            for i, walks in zip(eligible, sets):
-                if any(len(w) > 1 for w in walks):
-                    temporal_idx.append(i)
-                    temporal_sets.append(walks)
-                else:
-                    # No usable history at this anchor: uniform fallback.
-                    need_static.append(i)
-        if need_static:
-            need_static.sort()
+        if self.config.dedup_aggregations and nodes.size > 1:
+            # Key on (node, anchor bit pattern); canonicalize NaN so every
+            # "no anchor" entry collapses to one key.
+            canon = anchors.copy()
+            canon[np.isnan(canon)] = np.nan
+            keys = np.empty(nodes.size, dtype=[("v", np.int64), ("t", np.int64)])
+            keys["v"] = nodes
+            keys["t"] = canon.view(np.int64)
+            uniq, inverse = np.unique(keys, return_inverse=True)
+            if uniq.size < nodes.size:
+                z = self._routed_aggregate(
+                    uniq["v"].copy(),
+                    uniq["t"].copy().view(np.float64),
+                    include_context,
+                    rng,
+                    use_cache,
+                )
+                return z[inverse]
+        return self._routed_aggregate(nodes, anchors, include_context, rng, use_cache)
+
+    def _routed_aggregate(
+        self,
+        nodes: np.ndarray,
+        anchors: np.ndarray,
+        include_context: bool,
+        rng,
+        use_cache: bool,
+    ):
+        """Route ``nodes`` between the temporal and fallback pipelines.
+
+        Walk generation is batched: one lockstep engine call samples the
+        temporal walks of every eligible node, and a second covers the
+        uniform fallback/ablation walks.  With ``fused_kernels`` the engine
+        emits padded :class:`WalkBatch` arrays directly (no ``Walk`` objects,
+        no Python re-padding) — except when the LRU walk cache is in play,
+        which stores ``Walk`` sets and therefore keeps the reference path.
+        Both paths consume the RNG stream identically and feed the aggregator
+        bitwise-identical arrays.
+        """
+        cfg = self.config
+        fast = cfg.fused_kernels and not (use_cache and self.engine.cache is not None)
+        eligible = (
+            ~np.isnan(anchors)
+            if self.temporal_walker is not None
+            else np.zeros(nodes.size, dtype=bool)
+        )
+        elig_idx = np.flatnonzero(eligible)
+        static_mask = ~eligible
+
+        temporal_idx = np.empty(0, dtype=np.int64)
+        temporal_batch = None
+        temporal_sets: list[list[Walk]] = []
+        if elig_idx.size:
+            if fast:
+                batch = self.engine.temporal_walk_batch(
+                    nodes[elig_idx],
+                    anchors[elig_idx],
+                    cfg.num_walks,
+                    cfg.walk_length,
+                    rng,
+                    include_context=include_context,
+                    chronological=cfg.chronological,
+                )
+                lengths = batch.row_lengths().reshape(elig_idx.size, cfg.num_walks)
+                has_history = lengths.max(axis=1) > 1
+                temporal_idx = elig_idx[has_history]
+                if temporal_idx.size:
+                    temporal_batch = batch.take_targets(np.flatnonzero(has_history))
+                    if not cfg.two_level:
+                        temporal_batch = temporal_batch.merged()
+            else:
+                sets = self.engine.temporal_walk_sets(
+                    nodes[elig_idx],
+                    anchors[elig_idx],
+                    cfg.num_walks,
+                    cfg.walk_length,
+                    rng,
+                    include_context=include_context,
+                    use_cache=use_cache,
+                )
+                has_history = np.fromiter(
+                    (any(len(w) > 1 for w in ws) for ws in sets),
+                    dtype=bool,
+                    count=len(sets),
+                )
+                temporal_idx = elig_idx[has_history]
+                temporal_sets = [s for s, h in zip(sets, has_history) if h]
+            # No usable history at the anchor: uniform fallback.
+            static_mask[elig_idx[~has_history]] = True
+
+        static_idx = np.flatnonzero(static_mask)  # ascending, like the seed
+        static_batch = None
+        static_sets: list[list[Walk]] = []
+        if static_idx.size:
             # EHNA-RW samples full-length static walks for every node; the
             # fallback neighborhood stays shallow (Section IV.D).
-            length = cfg.walk_length if self.temporal_walker is None else cfg.fallback_hops
-            sets = self.engine.uniform_walk_sets(
-                np.asarray(nodes)[need_static], cfg.num_walks, length, rng,
-                use_cache=use_cache,
+            length = (
+                cfg.walk_length if self.temporal_walker is None else cfg.fallback_hops
             )
-            static_idx = need_static
-            static_sets = sets
+            if fast:
+                static_batch = self.engine.uniform_walk_batch(
+                    nodes[static_idx],
+                    cfg.num_walks,
+                    length,
+                    rng,
+                    chronological=cfg.chronological,
+                )
+                if not cfg.two_level:
+                    static_batch = static_batch.merged()
+            else:
+                static_sets = self.engine.uniform_walk_sets(
+                    nodes[static_idx], cfg.num_walks, length, rng,
+                    use_cache=use_cache,
+                )
 
         parts = []
-        order: list[int] = []
-        if temporal_idx:
+        if temporal_idx.size:
             attention = cfg.use_attention and cfg.temporal_walks
             parts.append(
-                self._aggregate(
-                    np.asarray(nodes)[temporal_idx], temporal_sets, attention
-                )
+                self._aggregate_batch(nodes[temporal_idx], temporal_batch, attention)
+                if temporal_batch is not None
+                else self._aggregate(nodes[temporal_idx], temporal_sets, attention)
             )
-            order.extend(temporal_idx)
-        if static_idx:
+        if static_idx.size:
             parts.append(
-                self._aggregate(
-                    np.asarray(nodes)[static_idx], static_sets, use_attention=False
-                )
+                self._aggregate_batch(nodes[static_idx], static_batch, False)
+                if static_batch is not None
+                else self._aggregate(nodes[static_idx], static_sets, False)
             )
-            order.extend(static_idx)
+        order = np.concatenate([temporal_idx, static_idx])
         stacked = parts[0] if len(parts) == 1 else concat(parts, axis=0)
         # Restore the caller's row order (getitem backward scatter-adds).
-        inverse = np.empty(len(order), dtype=np.int64)
-        inverse[np.asarray(order)] = np.arange(len(order))
+        inverse = np.empty(order.size, dtype=np.int64)
+        inverse[order] = np.arange(order.size)
         return stacked[inverse]
 
     def _train_batch(self, edge_ids: np.ndarray, optimizers: list[Adam]) -> float:
+        """One optimizer step on a batch of target edges.
+
+        ``one_pass=True`` (default) aggregates positives and every negative
+        group in a single grouped call — one walk-engine launch, one padding,
+        one LSTM kernel, one backward; ``one_pass=False`` keeps the
+        pre-fusion three-call step as the measured baseline.
+        """
+        if self.config.one_pass:
+            return self._train_batch_one_pass(edge_ids, optimizers)
+        return self._train_batch_reference(edge_ids, optimizers)
+
+    def _train_batch_one_pass(
+        self, edge_ids: np.ndarray, optimizers: list[Adam]
+    ) -> float:
+        cfg = self.config
+        graph = self.graph
+        xs = graph.src[edge_ids]
+        ys = graph.dst[edge_ids]
+        ts = graph.time[edge_ids]
+        b = edge_ids.size
+        q = cfg.num_negatives
+
+        # Negatives per Eq. 6/7 are drawn up front so positives + negatives
+        # share one aggregation, all anchored at the edge times (negatives
+        # are judged through the same historical-neighborhood pipeline).
+        neg_x = self.sampler.sample((b, q), self._rng, exclude_x=xs, exclude_y=ys)
+        neg_y = (
+            self.sampler.sample((b, q), self._rng, exclude_x=xs, exclude_y=ys)
+            if cfg.bidirectional
+            else None
+        )
+        neg_t = np.repeat(ts, q)
+        targets = [xs, ys, neg_x.ravel()]
+        anchor = [ts, ts, neg_t]
+        if neg_y is not None:
+            targets.append(neg_y.ravel())
+            anchor.append(neg_t)
+        z = self._grouped_aggregate(np.concatenate(targets), np.concatenate(anchor))
+
+        z_x, z_y = z[0:b], z[b : 2 * b]
+        zn_x = z[2 * b : 2 * b + b * q].reshape((b, q, cfg.dim))
+        zn_y = (
+            z[2 * b + b * q : 2 * b + 2 * b * q].reshape((b, q, cfg.dim))
+            if neg_y is not None
+            else None
+        )
+        return self._optimize(z_x, z_y, zn_x, zn_y, optimizers)
+
+    def _train_batch_reference(
+        self, edge_ids: np.ndarray, optimizers: list[Adam]
+    ) -> float:
+        """The pre-fusion step: separate aggregations for positives and each
+        negative group (kept as the benchmark baseline and for ablations;
+        batch-norm statistics are per-call, so its loss trajectory differs
+        slightly from the one-pass step)."""
         cfg = self.config
         graph = self.graph
         xs = graph.src[edge_ids]
@@ -270,8 +406,6 @@ class EHNA(EmbeddingMethod):
         z = self._grouped_aggregate(targets, anchor)
         z_x, z_y = z[0:b], z[b : 2 * b]
 
-        # Negatives per Eq. 6/7, anchored at the same edge times so they are
-        # judged through the same historical-neighborhood pipeline.
         neg_x = self.sampler.sample(
             (b, cfg.num_negatives), self._rng, exclude_x=xs, exclude_y=ys
         )
@@ -287,7 +421,13 @@ class EHNA(EmbeddingMethod):
             zn_y = self._grouped_aggregate(neg_y.ravel(), neg_t).reshape(
                 (b, cfg.num_negatives, cfg.dim)
             )
+        return self._optimize(z_x, z_y, zn_x, zn_y, optimizers)
 
+    def _optimize(self, z_x, z_y, zn_x, zn_y, optimizers: list[Adam]) -> float:
+        """Shared tail of both train-step variants: Eq. 5-7 loss, backward,
+        one optimizer step.  Keeping it in one place means the ``one_pass``
+        baseline can never silently diverge from the fused step's objective."""
+        cfg = self.config
         loss = margin_hinge_loss(
             z_x, z_y, zn_x, cfg.margin, neg_y=zn_y, metric=cfg.objective
         )
@@ -359,10 +499,12 @@ class EHNA(EmbeddingMethod):
         self.aggregator.eval()
         out = np.zeros((graph.num_nodes, cfg.dim))
         nodes = np.arange(graph.num_nodes)
+        all_anchors = graph.last_event_times(nodes)  # NaN marks isolated
         for lo in range(0, nodes.size, cfg.batch_size):
             chunk = nodes[lo : lo + cfg.batch_size]
-            anchors = [graph.last_event_time(int(v)) for v in chunk]
-            z = self._grouped_aggregate(chunk, anchors, include_context=True)
+            z = self._grouped_aggregate(
+                chunk, all_anchors[lo : lo + cfg.batch_size], include_context=True
+            )
             out[chunk] = z.data
         self.aggregator.train()
         return out
@@ -388,31 +530,31 @@ class EHNA(EmbeddingMethod):
             raise RuntimeError("call fit() before encode()")
         cfg = self.config
         nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
-        anchors = resolve_anchors(self.graph, nodes, at)
+        anchors = _anchor_array(resolve_anchors(self.graph, nodes, at), nodes.size)
         # at=None resolved to each node's last event time — by definition
         # the table anchor, so reuse it instead of re-querying per node.
         table_anchor = (
-            anchors
-            if at is None
-            else [self.graph.last_event_time(int(v)) for v in nodes]
+            anchors if at is None else self.graph.last_event_times(nodes)
         )
 
         out = np.empty((nodes.size, cfg.dim))
-        # None == None and exact float equality: the final table serves the
-        # default anchor bitwise; everything else aggregates live.
-        live = [i for i in range(nodes.size) if anchors[i] != table_anchor[i]]
-        fast = [i for i in range(nodes.size) if anchors[i] == table_anchor[i]]
-        if fast:
-            idx = np.asarray(fast, dtype=np.int64)
-            out[idx] = self._final[nodes[idx]]
-        if live:
+        # NaN == NaN (both "no anchor") and exact float equality: the final
+        # table serves the default anchor bitwise; the rest aggregate live.
+        fast = (anchors == table_anchor) | (
+            np.isnan(anchors) & np.isnan(table_anchor)
+        )
+        fast_idx = np.flatnonzero(fast)
+        live = np.flatnonzero(~fast)
+        if fast_idx.size:
+            out[fast_idx] = self._final[nodes[fast_idx]]
+        if live.size:
             rng = np.random.default_rng(self._infer_seed)
             self.aggregator.eval()
-            for lo in range(0, len(live), cfg.batch_size):
-                chunk = np.asarray(live[lo : lo + cfg.batch_size], dtype=np.int64)
+            for lo in range(0, live.size, cfg.batch_size):
+                chunk = live[lo : lo + cfg.batch_size]
                 z = self._grouped_aggregate(
                     nodes[chunk],
-                    [anchors[i] for i in chunk],
+                    anchors[chunk],
                     include_context=True,
                     rng=rng,
                 )
@@ -469,6 +611,24 @@ class EHNA(EmbeddingMethod):
         self._final = np.asarray(arrays["final"])
         self.loss_history = [float(x) for x in meta.get("loss_history", [])]
         self._infer_seed = int(meta["infer_seed"])
+
+
+def _anchor_array(times, n: int) -> np.ndarray:
+    """Normalize anchor times into a float array; ``None`` becomes ``NaN``.
+
+    Accepts the vectorized form (a float ndarray, e.g. from
+    :meth:`TemporalGraph.last_event_times`) as-is and converts legacy
+    ``None``-bearing sequences without a per-element branch in callers.
+    """
+    if isinstance(times, np.ndarray) and times.dtype.kind == "f":
+        arr = np.asarray(times, dtype=np.float64)
+    else:
+        arr = np.array(
+            [np.nan if t is None else float(t) for t in times], dtype=np.float64
+        )
+    if arr.shape != (n,):
+        raise ValueError(f"expected {n} anchor times, got shape {arr.shape}")
+    return arr
 
 
 def _assign(dst: np.ndarray, arrays: dict, key: str) -> None:

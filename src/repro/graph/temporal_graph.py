@@ -353,6 +353,24 @@ class TemporalGraph:
             return None
         return float(self._inc_time[hi - 1])
 
+    def last_event_times(self, nodes=None) -> np.ndarray:
+        """Vectorized :meth:`last_event_time` over ``nodes`` (all when None).
+
+        Returns a float array aligned with ``nodes``; isolated nodes get
+        ``NaN`` (the array encoding of the scalar method's ``None``).  One
+        gather over the incidence index instead of a per-node Python loop.
+        """
+        if nodes is None:
+            nodes = np.arange(self._n, dtype=np.int64)
+        else:
+            nodes = np.asarray(nodes, dtype=np.int64)
+        lo = self._inc_offsets[nodes]
+        hi = self._inc_offsets[nodes + 1]
+        out = np.full(nodes.shape, np.nan)
+        has = hi > lo
+        out[has] = self._inc_time[hi[has] - 1]
+        return out
+
     def has_edge(self, u: int, v: int) -> bool:
         """Whether any event ever connected ``u`` and ``v``."""
         if self._pair_set is None:

@@ -13,12 +13,21 @@ from repro.nn.layers import (
     Module,
     Sequential,
     StackedLSTM,
+    fused_stacked_lstm,
 )
 from repro.nn.optim import Adam, SGD
-from repro.nn.tensor import Tensor, concat, softmax, squared_distance, stack
+from repro.nn.tensor import (
+    Tensor,
+    apply_op,
+    concat,
+    softmax,
+    squared_distance,
+    stack,
+)
 
 __all__ = [
     "Tensor",
+    "apply_op",
     "concat",
     "stack",
     "softmax",
@@ -28,6 +37,7 @@ __all__ = [
     "Embedding",
     "LSTM",
     "StackedLSTM",
+    "fused_stacked_lstm",
     "BatchNorm1d",
     "Sequential",
     "SGD",

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import init
-from repro.nn.tensor import Tensor, concat
+from repro.nn.tensor import Tensor, apply_op, concat
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_positive
 
@@ -186,7 +186,14 @@ class LSTM(Module):
 
 
 class StackedLSTM(Module):
-    """Multi-layer LSTM — the paper's aggregator (2 layers by default)."""
+    """Multi-layer LSTM — the paper's aggregator (2 layers by default).
+
+    ``__call__`` is the stepwise *reference* implementation: one autograd
+    node per op per timestep per layer.  :meth:`fused` runs the same
+    recurrence through :func:`fused_stacked_lstm` — a single autograd node
+    with a hand-derived BPTT backward — and is gradcheck-verified against
+    this reference in ``tests/nn/test_fused_lstm.py``.
+    """
 
     def __init__(self, input_size: int, hidden_size: int, num_layers: int = 2, rng=None):
         super().__init__()
@@ -204,6 +211,239 @@ class StackedLSTM(Module):
         for layer in self.layers:
             outputs, final = layer(outputs, mask=mask)
         return outputs, final
+
+    def fused(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Final hidden state via the single-node fused BPTT kernel.
+
+        ``x`` is the whole sequence as one ``(B, T, D)`` tensor and ``mask``
+        an optional ``(B, T)`` 0/1 validity array; equivalent to
+        ``self([x[:, t] for t in range(T)], mask.T)[1]`` step for step.
+        """
+        return fused_stacked_lstm(x, self.layers, mask=mask)
+
+
+def fused_stacked_lstm(x: Tensor, layers: list[LSTM], mask: np.ndarray | None = None) -> Tensor:
+    """Masked multi-layer LSTM as **one** autograd node.
+
+    Forward runs the full recurrence in a plain numpy loop (per-step matmuls
+    in the same order as :meth:`LSTM.step`, so outputs match the stepwise
+    reference bit for bit) while recording the gate activations and carried
+    states; backward is a hand-derived backpropagation-through-time sweep —
+    layers top-down, timesteps in reverse — that accumulates gradients for
+    the input and every weight in a handful of array ops per step instead of
+    a long chain of per-op closures.
+
+    Parameters
+    ----------
+    x:
+        ``(B, T, D)`` input sequence (``D`` = input size of ``layers[0]``).
+    layers:
+        The :class:`LSTM` layers, applied bottom to top; layer ``l``'s
+        per-step *carried* outputs feed layer ``l + 1``.
+    mask:
+        Optional ``(B, T)`` 0/1 array; masked steps carry ``(h, c)`` through
+        unchanged in every layer, exactly like the stepwise path.
+
+    Returns the final carried hidden state of the top layer, ``(B, H)``.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"fused LSTM expects (B, T, D) input, got {x.shape}")
+    batch, steps, _ = x.shape
+    if mask is not None:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (batch, steps):
+            raise ValueError(
+                f"mask shape {mask.shape} must be (B, T) = {(batch, steps)}"
+            )
+
+    hs = layers[0].hidden_size
+    n_layers = len(layers)
+    # Per-layer forward tapes for the backward sweep.
+    tape_x: list[np.ndarray] = []  # (T, B, D_l) inputs of each layer
+    tape_gates: list[np.ndarray] = []  # (T, B, 4H) post-nonlinearity gates
+    tape_tc: list[np.ndarray] = []  # (T, B, H) tanh of pre-mask cell states
+    tape_carry_h: list[np.ndarray] = []  # (T, B, H) carried hidden states
+    tape_carry_c: list[np.ndarray] = []  # (T, B, H) carried cell states
+
+    if mask is None:
+        m_col = m_inv = None
+    else:
+        m_col = np.ascontiguousarray(mask.T).reshape(steps, batch, 1)
+        m_inv = 1.0 - m_col
+
+    inp = np.ascontiguousarray(np.swapaxes(x.data, 0, 1))  # (T, B, D)
+    for layer in layers:
+        w_ih, w_hh, bias = layer.w_ih.data, layer.w_hh.data, layer.bias.data
+        gates = np.empty((steps, batch, 4 * hs))
+        tc_seq = np.empty((steps, batch, hs))
+        h_seq = np.empty((steps, batch, hs))
+        c_seq = np.empty((steps, batch, hs))
+        h = np.zeros((batch, hs))
+        c = np.zeros((batch, hs))
+        for t in range(steps):
+            # Same association order as LSTM.step: (x@Wih + h@Whh) + bias.
+            z = inp[t] @ w_ih
+            z += h @ w_hh
+            z += bias
+            gz = gates[t]
+            _sigmoid(z[:, : 2 * hs], out=gz[:, : 2 * hs])  # i, f
+            _sigmoid(z[:, 3 * hs :], out=gz[:, 3 * hs :])  # o
+            np.tanh(z[:, 2 * hs : 3 * hs], out=gz[:, 2 * hs : 3 * hs])
+            i = gz[:, 0:hs]
+            f = gz[:, hs : 2 * hs]
+            g = gz[:, 2 * hs : 3 * hs]
+            o = gz[:, 3 * hs : 4 * hs]
+            if m_col is not None:
+                c_new = f * c  # (f*c) + (i*g), in place
+                c_new += i * g
+                np.tanh(c_new, out=tc_seq[t])
+                h_new = o * tc_seq[t]
+                np.multiply(m_col[t], h_new, out=h_seq[t])
+                h_seq[t] += m_inv[t] * h
+                np.multiply(m_col[t], c_new, out=c_seq[t])
+                c_seq[t] += m_inv[t] * c
+            else:
+                np.multiply(f, c, out=c_seq[t])
+                c_seq[t] += i * g
+                np.tanh(c_seq[t], out=tc_seq[t])
+                np.multiply(o, tc_seq[t], out=h_seq[t])
+            h = h_seq[t]
+            c = c_seq[t]
+        tape_x.append(inp)
+        tape_gates.append(gates)
+        tape_tc.append(tc_seq)
+        tape_carry_h.append(h_seq)
+        tape_carry_c.append(c_seq)
+        inp = h_seq  # carried outputs feed the next layer
+
+    final = tape_carry_h[-1][steps - 1]
+
+    def backward(g_final: np.ndarray) -> None:
+        # d_out[t]: gradient on layer l's carried output h_t from the layer
+        # above; None for the top layer, whose only downstream gradient is
+        # g_final on the final carried state.
+        d_out = None
+        for li in range(n_layers - 1, -1, -1):
+            layer = layers[li]
+            w_ih, w_hh = layer.w_ih.data, layer.w_hh.data
+            gates = tape_gates[li]
+            tc_seq = tape_tc[li]
+            h_seq = tape_carry_h[li]
+            c_seq = tape_carry_c[li]
+            xs = tape_x[li]
+            # One vectorized pass over the whole tape for the gate-derivative
+            # factors; the trailing multiplication order per step is unchanged
+            # (same rounding as the stepwise reference).
+            gi = gates[:, :, 0:hs]
+            gf = gates[:, :, hs : 2 * hs]
+            ggg = gates[:, :, 2 * hs : 3 * hs]
+            go = gates[:, :, 3 * hs : 4 * hs]
+            om_i = 1.0 - gi
+            om_f = 1.0 - gf
+            om_g2 = 1.0 - ggg * ggg
+            om_o = 1.0 - go
+            om_tc2 = 1.0 - tc_seq * tc_seq
+            d_in = np.empty_like(xs)
+            d_w_ih = np.zeros_like(w_ih) if layer.w_ih.requires_grad else None
+            d_w_hh = np.zeros_like(w_hh) if layer.w_hh.requires_grad else None
+            d_bias = (
+                np.zeros_like(layer.bias.data) if layer.bias.requires_grad else None
+            )
+            dh = np.zeros((batch, hs))  # recurrent grad on carried h_{t}
+            dc = np.zeros((batch, hs))  # recurrent grad on carried c_{t}
+            # Scratch buffers reused across steps; every slot is fully
+            # rewritten before it is read in each iteration.  All in-place
+            # chains keep the reference's left-to-right association.
+            dz = np.empty((batch, 4 * hs))
+            b_hnew = np.empty((batch, hs))
+            b_hskip = np.empty((batch, hs))
+            b_cnew = np.empty((batch, hs))
+            b_cskip = np.empty((batch, hs))
+            b_do = np.empty((batch, hs))
+            b_tmp = np.empty((batch, hs))
+            for t in range(steps - 1, -1, -1):
+                if d_out is not None:
+                    dh_total = dh + d_out[t]
+                elif t == steps - 1:
+                    dh_total = g_final
+                else:
+                    dh_total = dh
+                if m_col is not None:
+                    dh_new = np.multiply(m_col[t], dh_total, out=b_hnew)
+                    np.multiply(m_inv[t], dh_total, out=b_hskip)
+                    dc_new = np.multiply(m_col[t], dc, out=b_cnew)
+                    np.multiply(m_inv[t], dc, out=b_cskip)
+                else:
+                    dh_new = dh_total
+                    np.copyto(b_cnew, dc)
+                    dc_new = b_cnew
+                i = gi[t]
+                f = gf[t]
+                gg = ggg[t]
+                o = go[t]
+                do = np.multiply(dh_new, tc_seq[t], out=b_do)
+                # dc_new += ((dh_new * o) * om_tc2), left to right
+                np.multiply(dh_new, o, out=b_tmp)
+                b_tmp *= om_tc2[t]
+                dc_new += b_tmp
+                c_prev = c_seq[t - 1] if t > 0 else 0.0
+                h_prev = h_seq[t - 1] if t > 0 else None
+                np.multiply(dc_new, gg, out=b_tmp)
+                b_tmp *= i
+                np.multiply(b_tmp, om_i[t], out=dz[:, 0:hs])
+                np.multiply(dc_new, c_prev, out=b_tmp)
+                b_tmp *= f
+                np.multiply(b_tmp, om_f[t], out=dz[:, hs : 2 * hs])
+                np.multiply(dc_new, i, out=b_tmp)
+                np.multiply(b_tmp, om_g2[t], out=dz[:, 2 * hs : 3 * hs])
+                np.multiply(do, o, out=b_tmp)
+                np.multiply(b_tmp, om_o[t], out=dz[:, 3 * hs : 4 * hs])
+                np.matmul(dz, w_ih.T, out=d_in[t])
+                if d_w_ih is not None:
+                    d_w_ih += xs[t].T @ dz
+                if d_w_hh is not None and h_prev is not None:
+                    d_w_hh += h_prev.T @ dz
+                if d_bias is not None:
+                    d_bias += dz.sum(axis=0)
+                np.matmul(dz, w_hh.T, out=dh)
+                np.multiply(dc_new, f, out=dc)
+                if m_col is not None:
+                    dh += b_hskip
+                    dc += b_cskip
+            if d_w_ih is not None:
+                layer.w_ih._accumulate(d_w_ih)
+            if d_w_hh is not None:
+                layer.w_hh._accumulate(d_w_hh)
+            if d_bias is not None:
+                layer.bias._accumulate(d_bias)
+            d_out = d_in  # becomes the layer below's per-step output grad
+        if x.requires_grad:
+            x._accumulate(np.swapaxes(d_out, 0, 1))
+
+    parents = [x]
+    for layer in layers:
+        parents.extend([layer.w_ih, layer.w_hh, layer.bias])
+    return apply_op(final, parents, backward)
+
+
+def _sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic, branchless.
+
+    Bitwise-identical to :meth:`Tensor.sigmoid` (which splits on sign with
+    boolean indexing): with ``e = exp(-|x|)``, the positive branch
+    ``1 / (1 + exp(-x))`` and the negative branch ``exp(x) / (1 + exp(x))``
+    are both exactly ``select(x >= 0, 1/(1+e), e/(1+e))`` — same exponent
+    argument, same division — but evaluated without gather/scatter copies.
+    """
+    e = np.abs(x)
+    np.negative(e, out=e)
+    np.exp(e, out=e)
+    num = np.where(x >= 0, 1.0, e)
+    e += 1.0  # e becomes the shared denominator
+    if out is None:
+        return np.divide(num, e)
+    np.divide(num, e, out=out)
+    return out
 
 
 class BatchNorm1d(Module):

@@ -357,6 +357,21 @@ class Tensor:
 # ---------------------------------------------------------------------------
 # free functions over tensors
 # ---------------------------------------------------------------------------
+def apply_op(data, parents, backward) -> Tensor:
+    """Build a custom autograd node: ``data`` with a hand-written backward.
+
+    This is the public hook for *fused kernels* — operations whose forward is
+    computed outside the elementwise op vocabulary (e.g. a whole BPTT unroll
+    in one numpy loop) and whose backward is derived by hand.  ``parents``
+    are the tensors the node depends on; ``backward(g)`` receives the
+    upstream gradient and must call ``parent._accumulate`` on every parent
+    with ``requires_grad`` (checking the flag itself, exactly like the
+    built-in ops).  If no parent requires grad the graph edge is dropped and
+    ``backward`` is never invoked.
+    """
+    return Tensor._make(data, tuple(parents), backward)
+
+
 def concat(tensors, axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis`` (the paper's ``[·||·]`` operator)."""
     tensors = [_as_tensor(t) for t in tensors]

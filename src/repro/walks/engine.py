@@ -31,6 +31,13 @@ the same target edges) and the uniform fallback sampler reuse work instead of
 resampling.  ``time_buckets=0`` keys on exact anchor times — reuse then never
 mixes neighborhoods across anchors, which keeps the historical constraint of
 Definition 2 intact.
+
+**Array-native batching.** ``temporal_walk_batch`` / ``uniform_walk_batch``
+skip ``Walk`` materialization entirely: the same lockstep loops (same RNG
+draws) pad their raw buffers straight into aggregator-ready
+:class:`~repro.walks.base.WalkBatch` arrays, bitwise-equal to running the
+``Walk`` path through ``batch_walks``.  This is the training fast path of
+the fused aggregation pipeline (see docs/architecture.md).
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.alias import PackedAliasTables, build_alias_tables
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative, check_positive
-from repro.walks.base import Walk
+from repro.walks.base import Walk, WalkBatch
 
 _I64 = np.int64
 
@@ -227,6 +234,21 @@ class BatchedWalkEngine:
         terminate individually when they run out of relevant history; the
         survivors keep stepping.
         """
+        return self._emit(
+            *self._temporal_raw(starts, anchors, length, rng, include_context),
+            with_times=True,
+        )
+
+    def _temporal_raw(
+        self, starts, anchors, length: int, rng=None, include_context: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The temporal lockstep loop on raw buffers.
+
+        Returns ``(nodes_buf, times_buf, lengths)``; entries beyond each
+        walk's length are uninitialized.  Shared by the ``Walk``-emitting
+        path and the array-native :meth:`temporal_walk_batch` fast path, so
+        both consume the RNG stream identically.
+        """
         check_positive("length", length)
         rng = ensure_rng(rng)
         starts = np.asarray(starts, dtype=_I64)
@@ -311,13 +333,20 @@ class BatchedWalkEngine:
             lengths[active] += 1
             t_last[active] = etime
             inclusive[active] = True  # later hops: non-increasing times
-        return self._emit(nodes_buf, times_buf, lengths, with_times=True)
+        return nodes_buf, times_buf, lengths
 
     # ------------------------------------------------------------------
     # uniform walks (DeepWalk / GraphSAGE-style fallback)
     # ------------------------------------------------------------------
     def uniform(self, starts, length: int, rng=None) -> list[Walk]:
         """First-order uniform walks over distinct neighbors, in lockstep."""
+        nodes_buf, _, lengths = self._uniform_raw(starts, length, rng)
+        return self._emit(nodes_buf, None, lengths, with_times=False)
+
+    def _uniform_raw(
+        self, starts, length: int, rng=None
+    ) -> tuple[np.ndarray, None, np.ndarray]:
+        """The uniform lockstep loop on raw buffers (see :meth:`_temporal_raw`)."""
         check_positive("length", length)
         rng = ensure_rng(rng)
         starts = np.asarray(starts, dtype=_I64)
@@ -341,7 +370,99 @@ class BatchedWalkEngine:
             cur[active] = nxt
             nodes_buf[active, lengths[active]] = nxt
             lengths[active] += 1
-        return self._emit(nodes_buf, None, lengths, with_times=False)
+        return nodes_buf, None, lengths
+
+    # ------------------------------------------------------------------
+    # array-native walk batching (the aggregator fast path)
+    # ------------------------------------------------------------------
+    def _pack(
+        self,
+        nodes_buf: np.ndarray,
+        times_buf: np.ndarray | None,
+        lengths: np.ndarray,
+        k: int,
+        chronological: bool,
+    ) -> WalkBatch:
+        """Pad raw lockstep buffers into a :class:`WalkBatch`, vectorized.
+
+        Bitwise-equivalent to emitting ``Walk`` objects and running them
+        through ``batch_walks``: same [0, 1] time scaling, same per-position
+        time-sum addition order (edge ``i-1`` accumulated before edge ``i``),
+        same in-place reversal for ``chronological`` batches, same zero
+        padding.
+        """
+        n_rows = nodes_buf.shape[0]
+        max_len = int(lengths.max(initial=0))
+        pos = np.arange(max_len, dtype=_I64)
+        valid = pos < lengths[:, None]  # (W, T) bool
+        ids = np.where(valid, nodes_buf[:, :max_len], 0)
+        sums = np.zeros((n_rows, max_len), dtype=np.float64)
+        if times_buf is not None and max_len > 1:
+            edge_valid = pos[: max_len - 1] < (lengths - 1)[:, None]
+            scaled = np.zeros((n_rows, max_len - 1), dtype=np.float64)
+            raw = times_buf[:, : max_len - 1]
+            scaled[edge_valid] = self.graph.scale_times(raw[edge_valid])
+            # sums[i] = scaled[i-1] + scaled[i], left edge accumulated first
+            # (the addition order of Walk.node_time_sums).
+            sums[:, 1:] = scaled
+            sums[:, : max_len - 1] += scaled
+        if chronological:
+            idx = np.where(valid, lengths[:, None] - 1 - pos, pos)
+            rows = np.arange(n_rows, dtype=_I64)[:, None]
+            ids = ids[rows, idx]
+            sums = sums[rows, idx]
+        return WalkBatch(
+            ids=ids, valid=valid.astype(np.float64), time_sums=sums, k=k
+        )
+
+    def temporal_walk_batch(
+        self,
+        nodes,
+        anchors,
+        num_walks: int,
+        length: int,
+        rng=None,
+        include_context: bool = False,
+        chronological: bool = True,
+    ) -> WalkBatch:
+        """``num_walks`` temporal walks per ``(node, anchor)`` pair as arrays.
+
+        The array-native fast path of :meth:`temporal_walk_sets` +
+        ``batch_walks``: the same lockstep loop fills the same raw buffers
+        with the same RNG draws, but the result is padded straight into a
+        :class:`WalkBatch` — no per-walk ``Walk`` objects, no Python
+        re-padding loop.  Bypasses the LRU walk cache (it stores ``Walk``
+        sets); callers that want cache reuse take the ``Walk`` path.
+        """
+        check_positive("num_walks", num_walks)
+        rng = ensure_rng(rng)
+        nodes = np.asarray(nodes, dtype=_I64)
+        anchors = np.asarray(anchors, dtype=np.float64)
+        starts = np.repeat(nodes, num_walks)
+        anch = np.repeat(anchors, num_walks)
+        bufs = self._temporal_raw(starts, anch, length, rng, include_context)
+        return self._pack(*bufs, k=num_walks, chronological=chronological)
+
+    def uniform_walk_batch(
+        self,
+        nodes,
+        num_walks: int,
+        length: int,
+        rng=None,
+        chronological: bool = True,
+    ) -> WalkBatch:
+        """``num_walks`` uniform walks per node as a :class:`WalkBatch`.
+
+        Array-native fast path of :meth:`uniform_walk_sets` (see
+        :meth:`temporal_walk_batch`); static walks carry no edge times, so
+        ``time_sums`` is all zeros.
+        """
+        check_positive("num_walks", num_walks)
+        rng = ensure_rng(rng)
+        nodes = np.asarray(nodes, dtype=_I64)
+        starts = np.repeat(nodes, num_walks)
+        bufs = self._uniform_raw(starts, length, rng)
+        return self._pack(*bufs, k=num_walks, chronological=chronological)
 
     # ------------------------------------------------------------------
     # node2vec walks (second-order, alias-sampled)

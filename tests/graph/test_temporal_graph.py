@@ -117,6 +117,22 @@ class TestIncidenceQueries:
         g = make([(0, 1, 1.0)], num_nodes=3)
         assert g.last_event_time(2) is None
 
+    def test_last_event_times_matches_scalar(self, sbm_graph):
+        times = sbm_graph.last_event_times()
+        assert times.shape == (sbm_graph.num_nodes,)
+        for v in range(sbm_graph.num_nodes):
+            ref = sbm_graph.last_event_time(v)
+            if ref is None:
+                assert np.isnan(times[v])
+            else:
+                assert times[v] == ref
+
+    def test_last_event_times_subset_and_isolated(self):
+        g = make([(0, 1, 1.0), (1, 2, 3.0)], num_nodes=5)
+        out = g.last_event_times(np.array([4, 2, 0]))
+        assert np.isnan(out[0])
+        assert out[1] == 3.0 and out[2] == 1.0
+
     def test_has_edge(self, tiny_graph):
         assert tiny_graph.has_edge(0, 1)
         assert tiny_graph.has_edge(1, 0)
