@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-train bench-all docs-check quickstart lint api-check
+.PHONY: test bench bench-train bench-all docs-check quickstart lint api-check tables
 
 ## Tier-1 test suite (the gate every change must keep green).  Runs the
 ## protocol-v2 surface check and the (ruff-when-available) linter first.
@@ -39,3 +39,11 @@ docs-check:
 ## Run the 60-second quickstart end to end.
 quickstart:
 	$(PY) examples/quickstart.py
+
+## Smallest-scale paper-table grid through the task CLI (repro.tasks.Runner:
+## one fit per method/dataset, markdown ResultTable on stdout).
+tables:
+	$(PY) -m repro.tasks --datasets digg --methods LINE EHNA \
+		--tasks link_prediction node_classification temporal_ranking \
+		--scale 0.05 --dim 8 --repeats 2 --candidates 6 --queries 15 \
+		--ehna-epochs 1 --sgns-epochs 1

@@ -2,6 +2,9 @@
 
 Paper shape to check (Section V.D): EHNA tops the curves on every dataset;
 all methods converge as P approaches the candidate-pair count.
+
+``run_fig4`` is a thin adapter over the task Runner (``repro.tasks``): one
+``ReconstructionTask`` per dataset, every method fit once on the full graph.
 """
 
 from repro.experiments import format_fig4, run_fig4

@@ -3,6 +3,10 @@
 Paper shape to check: F1 improves with margin up to m≈5 (5a); walk length
 helps up to l≈10-15 then decays (5b); best p around log2 p = -1 (5c) and best
 q around log2 q = +1 (5d).
+
+``run_fig5`` is a thin adapter over the task Runner with the methods axis
+carrying the configuration sweep (one EHNA factory per grid point), in
+shared-RNG mode for bitwise equivalence with the pre-Runner driver.
 """
 
 from repro.experiments import format_fig5, run_fig5

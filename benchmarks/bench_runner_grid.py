@@ -1,0 +1,65 @@
+"""Runner fit-cache benchmark: refit-per-table vs one fit per (method, dataset).
+
+The legacy drivers refit every method for every table they regenerate; the
+task Runner fits once per (method, dataset, fit-key) and reuses the trained
+model across every task that shares the split.  This bench runs the same
+two-task grid (link prediction + temporal ranking over the same 20% holdout)
+both ways and records the wall-clock ratio and fit counts under
+``benchmarks/results/runner_cache.txt``.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_runner_grid.py -q -s
+"""
+
+from repro.experiments.methods import default_methods
+from repro.tasks import LinkPredictionTask, Runner, TemporalRankingTask
+from repro.utils.timers import Timer
+
+SCALE = 0.2
+SEED = 0
+
+
+def _methods():
+    return default_methods(dim=16, seed=SEED, ehna_epochs=1, sgns_epochs=1)
+
+
+def _tasks():
+    return [
+        LinkPredictionTask(repeats=2),
+        TemporalRankingTask(num_candidates=8, max_queries=20),
+    ]
+
+
+def test_fit_cache_speedup(save_result):
+    tasks = _tasks()
+
+    # Refit-per-table: one Runner per task, like the legacy bench scripts.
+    with Timer() as t_separate:
+        separate = [
+            Runner(["digg"], _methods(), [task], scale=SCALE, seed=SEED).run()
+            for task in tasks
+        ]
+    separate_fits = sum(table.num_fits() for table in separate)
+
+    # One grid: both tasks share the holdout fit.
+    with Timer() as t_cached:
+        combined = Runner(["digg"], _methods(), tasks, scale=SCALE, seed=SEED).run()
+    cached_fits = combined.num_fits()
+
+    n_methods = len(_methods())
+    assert separate_fits == 2 * n_methods
+    assert cached_fits == n_methods  # the acceptance property, at bench scale
+    speedup = t_separate.elapsed / max(t_cached.elapsed, 1e-9)
+
+    lines = [
+        "-- Runner fit cache: refit-per-table vs shared fits --",
+        f"grid: digg x {n_methods} methods x 2 holdout tasks "
+        f"(scale={SCALE}, seed={SEED})",
+        f"refit-per-table: {separate_fits:2d} fits  {t_separate.elapsed:7.2f}s",
+        f"cached Runner:   {cached_fits:2d} fits  {t_cached.elapsed:7.2f}s",
+        f"speedup: {speedup:.2f}x  (fit count halved; eval cost unchanged)",
+    ]
+    save_result("runner_cache", "\n".join(lines))
+
+    # The cached grid must not be slower; the margin stays loose because
+    # evaluation time (which caching cannot remove) is part of both runs.
+    assert t_cached.elapsed < t_separate.elapsed * 1.05

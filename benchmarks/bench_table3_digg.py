@@ -3,6 +3,10 @@
 Paper shape to check: EHNA leads most operator/metric rows; temporal methods
 (CTDNE, HTNE, EHNA) dominate static LINE/Node2Vec under Hadamard and the
 Weighted operators.
+
+``run_link_table`` is a thin adapter over the task Runner (``repro.tasks``):
+one ``LinkPredictionTask`` grid cell per method, shared-RNG mode, so the
+numbers match the pre-Runner driver bitwise at this fixed seed.
 """
 
 from repro.experiments import format_link_table, run_link_table

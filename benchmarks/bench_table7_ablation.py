@@ -3,6 +3,10 @@
 Paper shape to check: full EHNA >= EHNA-NA >= EHNA-RW >= EHNA-SL — each
 removed component (attention, temporal walks, two-level stacked aggregation)
 costs accuracy, with the single-level LSTM hurting the most.
+
+``run_table7`` is a thin adapter over the task Runner: a single-operator
+``LinkPredictionTask`` grid per dataset in shared-RNG mode, so the numbers
+match the pre-Runner driver bitwise at this fixed seed.
 """
 
 from repro.experiments import format_table7, run_table7

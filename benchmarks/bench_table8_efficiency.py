@@ -3,6 +3,9 @@
 Paper shape to check: HTNE is the cheapest per epoch; LINE's cost is roughly
 flat across datasets (it depends only on its fixed sample budget); EHNA costs
 more than HTNE but stays within a small factor of the walk-based baselines.
+
+``run_table8`` is a thin adapter over the task Runner: a ``FitTimingTask``
+grid whose metric is the Runner's per-cell ``fit_seconds`` capture.
 """
 
 from repro.experiments import format_table8, run_table8

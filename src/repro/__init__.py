@@ -11,7 +11,12 @@ Public API tour:
 - :class:`repro.core.EHNA` — the paper's model (plus Table VII ablations);
 - :mod:`repro.baselines` — Node2Vec, DeepWalk, CTDNE, LINE, HTNE;
 - :mod:`repro.eval` — network reconstruction and link prediction harnesses;
-- :mod:`repro.experiments` — drivers regenerating every table and figure;
+- :mod:`repro.tasks` — the task API v2: declarative evaluation tasks, the
+  caching grid :class:`~repro.tasks.Runner`, structured
+  :class:`~repro.tasks.ResultTable` results, and the ``python -m
+  repro.tasks`` CLI;
+- :mod:`repro.experiments` — paper-shaped drivers for every table and
+  figure (thin adapters over the task Runner);
 - :mod:`repro.nn` — the from-scratch numpy autograd/LSTM substrate.
 """
 

@@ -1,6 +1,7 @@
 """Synthetic temporal-network datasets mirroring the paper's Table I corpora."""
 
 from repro.datasets.generators import (
+    community_labels,
     dblp_like,
     digg_like,
     temporal_preferential_attachment,
@@ -8,9 +9,15 @@ from repro.datasets.generators import (
     tmall_like,
     yelp_like,
 )
-from repro.datasets.registry import PAPER_DATASETS, load
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    UnknownDatasetError,
+    available,
+    load,
+)
 
 __all__ = [
+    "community_labels",
     "dblp_like",
     "digg_like",
     "tmall_like",
@@ -18,5 +25,7 @@ __all__ = [
     "temporal_preferential_attachment",
     "temporal_sbm",
     "PAPER_DATASETS",
+    "UnknownDatasetError",
+    "available",
     "load",
 ]

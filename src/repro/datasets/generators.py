@@ -20,6 +20,8 @@ harnesses can scale experiments up or down.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.graph.temporal_graph import TemporalGraph
@@ -40,6 +42,83 @@ def _compact(src, dst, time, weight=None) -> TemporalGraph:
         weight,
         num_nodes=used.size,
     )
+
+
+def community_labels(
+    graph: TemporalGraph,
+    num_communities: int = 4,
+    seed=None,
+) -> np.ndarray:
+    """Community labels for every node of ``graph`` (seeded graph Voronoi).
+
+    The generators above encode community structure implicitly — triadic
+    closure, friend-of-a-recent-friend targeting, co-purchase neighborhoods —
+    so the label side of the node-classification task is recovered from the
+    produced structure rather than drawn alongside it (which would perturb
+    the RNG stream and change the graphs behind the published tables).
+
+    The partition grows balanced regions: the ``num_communities``
+    highest-degree nodes anchor one label each (greedily skipping neighbors
+    of already-chosen anchors so the seeds spread out), then the smallest
+    community repeatedly claims one more unlabeled node adjacent to its
+    current members — so a single hub cannot flood the whole graph, and
+    sizes stay as even as connectivity allows.  The construction is fully
+    deterministic given the graph; ``seed`` only randomizes the labels of
+    nodes in components containing no anchor.  Returns an int64 array of
+    length ``num_nodes`` with values in ``[0, num_communities)``.
+    """
+    check_positive("num_communities", num_communities)
+    rng = ensure_rng(seed)
+    n = graph.num_nodes
+    k = min(int(num_communities), n)
+    dindptr, dnbr, _ = graph.distinct_csr()
+    degree = np.diff(dindptr)
+
+    labels = np.full(n, -1, dtype=np.int64)
+    anchors: list[int] = []
+    by_degree = np.argsort(-degree, kind="stable")
+    for v in by_degree:  # prefer mutually non-adjacent anchors
+        if len(anchors) == k:
+            break
+        nbrs = dnbr[dindptr[v] : dindptr[v + 1]]
+        if nbrs.size and np.any(labels[nbrs] >= 0):
+            continue
+        labels[v] = len(anchors)
+        anchors.append(int(v))
+    for v in by_degree:  # dense graphs: fill from the top regardless
+        if len(anchors) == k:
+            break
+        if labels[v] < 0:
+            labels[v] = len(anchors)
+            anchors.append(int(v))
+
+    queues: list[deque[int]] = [deque([a]) for a in anchors]
+    sizes = [1] * len(anchors)
+    scan = dindptr[:-1].copy()  # next incidence slot to inspect, per node
+    while True:
+        live = [c for c in range(len(anchors)) if queues[c]]
+        if not live:
+            break
+        c = min(live, key=lambda i: (sizes[i], i))
+        grown = False
+        while queues[c] and not grown:
+            v = queues[c][0]
+            while scan[v] < dindptr[v + 1]:
+                u = int(dnbr[scan[v]])
+                scan[v] += 1
+                if labels[u] < 0:
+                    labels[u] = c
+                    sizes[c] += 1
+                    queues[c].append(u)
+                    grown = True
+                    break
+            if not grown:
+                queues[c].popleft()  # v has no unlabeled neighbors left
+
+    orphans = labels < 0
+    if np.any(orphans):
+        labels[orphans] = rng.integers(k, size=int(orphans.sum()))
+    return labels
 
 
 def temporal_preferential_attachment(

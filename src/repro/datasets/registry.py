@@ -4,12 +4,20 @@
 datasets at a chosen ``scale`` (1.0 = the laptop-scale defaults documented in
 DESIGN.md).  The registry keeps the benchmark drivers declarative: every
 table/figure harness iterates ``PAPER_DATASETS`` just as Section V iterates
-Digg / Yelp / Tmall / DBLP.
+Digg / Yelp / Tmall / DBLP, and the task Runner resolves grid cells through
+``load`` by name.  ``load(name, labels=True)`` additionally returns community
+labels for the node-classification task.
 """
 
 from __future__ import annotations
 
-from repro.datasets.generators import dblp_like, digg_like, tmall_like, yelp_like
+from repro.datasets.generators import (
+    community_labels,
+    dblp_like,
+    digg_like,
+    tmall_like,
+    yelp_like,
+)
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.validation import check_positive
 
@@ -17,17 +25,45 @@ from repro.utils.validation import check_positive
 PAPER_DATASETS = ("digg", "yelp", "tmall", "dblp")
 
 
-def load(name: str, scale: float = 1.0, seed=None) -> TemporalGraph:
+class UnknownDatasetError(KeyError, ValueError):
+    """An unregistered dataset name was requested.
+
+    Subclasses both ``KeyError`` (the registry is a lookup) and
+    ``ValueError`` (the name is an invalid argument), so either historical
+    ``except`` clause catches it.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0]
+
+
+def available() -> tuple[str, ...]:
+    """The dataset names :func:`load` accepts, in paper (Table I) order."""
+    return PAPER_DATASETS
+
+
+def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
     """Generate the named dataset at ``scale`` times its default size.
 
     Parameters
     ----------
     name:
-        One of ``digg``, ``yelp``, ``tmall``, ``dblp`` (case-insensitive).
+        One of :func:`available` (case-insensitive).
     scale:
         Multiplier on node/edge counts; 1.0 gives ~3k temporal edges.
     seed:
         Seed or generator for reproducibility.
+    labels:
+        When true, return ``(graph, labels)`` where ``labels`` is the
+        community assignment from
+        :func:`~repro.datasets.generators.community_labels` (derived from
+        the generated structure, so the graph is bitwise identical to the
+        ``labels=False`` one at the same seed).
+
+    Raises
+    ------
+    UnknownDatasetError
+        If ``name`` is not registered; the message lists valid names.
     """
     check_positive("scale", scale)
 
@@ -36,15 +72,21 @@ def load(name: str, scale: float = 1.0, seed=None) -> TemporalGraph:
 
     key = name.lower()
     if key == "digg":
-        return digg_like(num_users=s(400), num_edges=s(3000), seed=seed)
-    if key == "yelp":
-        return yelp_like(
+        graph = digg_like(num_users=s(400), num_edges=s(3000), seed=seed)
+    elif key == "yelp":
+        graph = yelp_like(
             num_users=s(300), num_businesses=s(150), num_reviews=s(3000), seed=seed
         )
-    if key == "tmall":
-        return tmall_like(
+    elif key == "tmall":
+        graph = tmall_like(
             num_users=s(300), num_items=s(120), num_purchases=s(3000), seed=seed
         )
-    if key == "dblp":
-        return dblp_like(num_authors=s(300), num_papers=s(600), seed=seed)
-    raise KeyError(f"unknown dataset {name!r}; expected one of {PAPER_DATASETS}")
+    elif key == "dblp":
+        graph = dblp_like(num_authors=s(300), num_papers=s(600), seed=seed)
+    else:
+        raise UnknownDatasetError(
+            f"unknown dataset {name!r}; expected one of {list(available())}"
+        )
+    if not labels:
+        return graph
+    return graph, community_labels(graph, seed=seed)

@@ -46,10 +46,7 @@ def holdout_pairs(graph: TemporalGraph, fraction: float = 0.2) -> tuple[Temporal
     lo = np.minimum(graph.src[held_ids], graph.dst[held_ids])
     hi = np.maximum(graph.src[held_ids], graph.dst[held_ids])
     pairs = np.unique(np.stack([lo, hi], axis=1), axis=0)
-    fresh = np.array(
-        [not train_graph.has_edge(int(u), int(v)) for u, v in pairs], dtype=bool
-    )
-    pairs = pairs[fresh]
+    pairs = pairs[~train_graph.has_edges(pairs[:, 0], pairs[:, 1])]
     if pairs.shape[0] == 0:
         raise ValueError(
             "holdout produced no novel pairs; the graph may be too repetitive"

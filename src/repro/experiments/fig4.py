@@ -1,20 +1,21 @@
 """Figure 4 — network reconstruction Precision@P curves.
 
-Every method trains on the *full* graph (reconstruction probes how well the
-embedding preserves observed structure), then node pairs are ranked by dot
-product and Precision@P is swept over a grid of cutoffs.  The paper sweeps
-P ∈ {10², …, 10⁶} over 10⁴ sampled nodes; the grid here scales with the
-synthetic graphs.
+A thin adapter over the task Runner: one
+:class:`~repro.tasks.reconstruction.ReconstructionTask` per dataset, every
+method trained on the *full* graph (reconstruction probes how well the
+embedding preserves observed structure) — and, because the task declares a
+full-graph fit key, those trained models are shared with any other
+full-graph task in a larger grid.  The paper sweeps P ∈ {10², …, 10⁶} over
+10⁴ sampled nodes; the grid here scales with the synthetic graphs.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.datasets import PAPER_DATASETS, load
-from repro.eval.reconstruction import reconstruction_precision
+from repro.datasets import PAPER_DATASETS
 from repro.experiments.methods import default_methods
-from repro.utils.rng import ensure_rng
+from repro.tasks import ReconstructionTask, Runner
 
 #: Laptop-scale cutoff grid (the paper's 1e2..1e6, shrunk with the graphs).
 DEFAULT_PS = (100, 300, 1000, 3000, 10000)
@@ -30,24 +31,19 @@ def run_fig4(
     repeats: int = 3,
 ) -> dict[str, dict[str, dict[int, float]]]:
     """Regenerate Fig. 4: ``{dataset: {method: {P: precision}}}``."""
-    rng = ensure_rng(seed)
-    results: dict[str, dict[str, dict[int, float]]] = {}
+    factories = methods or default_methods(dim=dim, seed=seed)
+    task = ReconstructionTask(ps=tuple(ps), sample_size=None, repeats=repeats)
+    runner = Runner(list(datasets), factories, [task], scale=scale, seed=seed)
+    results = runner.run()
+
+    out: dict[str, dict[str, dict[int, float]]] = {}
     for ds in datasets:
-        graph = load(ds, scale=scale, seed=seed)
-        factories = methods or default_methods(dim=dim, seed=seed)
-        per_method: dict[str, dict[int, float]] = {}
-        for name, factory in factories.items():
-            model = factory().fit(graph)
-            per_method[name] = reconstruction_precision(
-                model.embeddings(),
-                graph,
-                list(ps),
-                sample_size=None,
-                repeats=repeats,
-                rng=rng,
-            )
-        results[ds] = per_method
-    return results
+        out[ds] = {
+            name: {p: results.cell(ds, name, task.name).metrics[f"precision@{p}"]
+                   for p in task.ps}
+            for name in factories
+        }
+    return out
 
 
 def format_fig4(results: dict[str, dict[str, dict[int, float]]]) -> str:

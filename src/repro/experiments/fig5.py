@@ -4,14 +4,19 @@ Sweeps the safety margin ``m``, walk length ``l`` and the walk-bias
 parameters ``p``/``q`` (as ``log2`` grids), measuring link-prediction F1
 under Weighted-L2 with everything else at its default — the protocol of
 Section V.H.
+
+A thin adapter over the task Runner with the *methods axis* carrying the
+configuration sweep: every (panel, value) pair becomes one EHNA factory,
+evaluated against a single shared single-operator
+:class:`~repro.tasks.link_prediction.LinkPredictionTask` — one holdout
+preparation for the whole figure, exactly like the legacy driver, which the
+shared-RNG mode reproduces bitwise.
 """
 
 from __future__ import annotations
 
 from repro.core import EHNA
-from repro.datasets import load
-from repro.eval.link_prediction import evaluate_operator, prepare_link_prediction
-from repro.utils.rng import ensure_rng
+from repro.tasks import LinkPredictionTask, Runner
 
 #: The paper's grids (Fig. 5a-d).
 DEFAULT_GRIDS = {
@@ -22,13 +27,18 @@ DEFAULT_GRIDS = {
 }
 
 
-def _f1_for_config(data, rng, seed, **overrides) -> float:
-    model = EHNA(seed=seed, **overrides)
-    model.fit(data.train_graph)
-    metrics = evaluate_operator(
-        model.embeddings(), data, "Weighted-L2", repeats=3, rng=rng
-    )
-    return metrics["f1"]
+def _sweep_points(grids: dict) -> list[tuple[str, float, dict]]:
+    """(panel, grid value, EHNA overrides) in the legacy sweep order."""
+    points: list[tuple[str, float, dict]] = []
+    for m in grids["margin"]:
+        points.append(("margin", m, {"margin": float(m)}))
+    for length in grids["walk_length"]:
+        points.append(("walk_length", length, {"walk_length": int(length)}))
+    for e in grids["log2_p"]:
+        points.append(("log2_p", e, {"p": float(2.0**e)}))
+    for e in grids["log2_q"]:
+        points.append(("log2_q", e, {"q": float(2.0**e)}))
+    return points
 
 
 def run_fig5(
@@ -41,24 +51,26 @@ def run_fig5(
 ) -> dict[str, dict[float, float]]:
     """Regenerate Fig. 5: ``{panel: {parameter value: F1}}``."""
     grids = {**DEFAULT_GRIDS, **(grids or {})}
-    graph = load(dataset, scale=scale, seed=seed)
-    rng = ensure_rng(seed)
-    data = prepare_link_prediction(graph, fraction=0.2, rng=rng)
-    base = {"dim": dim, "epochs": epochs}
+    points = _sweep_points(grids)
+    methods = {
+        f"{panel}={value}": (
+            lambda overrides=overrides: EHNA(
+                seed=seed, dim=dim, epochs=epochs, **overrides
+            )
+        )
+        for panel, value, overrides in points
+    }
+    task = LinkPredictionTask(fraction=0.2, operators=("Weighted-L2",), repeats=3)
+    table = Runner(
+        [dataset], methods, [task], scale=scale, seed=seed, rng_mode="shared"
+    ).run()
 
     results: dict[str, dict[float, float]] = {
         "margin": {}, "walk_length": {}, "log2_p": {}, "log2_q": {}
     }
-    for m in grids["margin"]:
-        results["margin"][m] = _f1_for_config(data, rng, seed, margin=float(m), **base)
-    for l in grids["walk_length"]:
-        results["walk_length"][l] = _f1_for_config(
-            data, rng, seed, walk_length=int(l), **base
-        )
-    for e in grids["log2_p"]:
-        results["log2_p"][e] = _f1_for_config(data, rng, seed, p=float(2.0**e), **base)
-    for e in grids["log2_q"]:
-        results["log2_q"][e] = _f1_for_config(data, rng, seed, q=float(2.0**e), **base)
+    for panel, value, _ in points:
+        cell = table.cell(dataset, f"{panel}={value}", task.name)
+        results[panel][value] = cell.metrics["Weighted-L2/f1"]
     return results
 
 

@@ -1,15 +1,18 @@
 """Table VII — ablation study (EHNA vs EHNA-NA / EHNA-RW / EHNA-SL).
 
 Link-prediction F1 under the Weighted-L2 operator, per dataset, exactly as
-the paper reports (Section V.F notes Weighted-L2 is shown for space).
+the paper reports (Section V.F notes Weighted-L2 is shown for space).  A
+thin adapter over the task Runner: one single-operator
+:class:`~repro.tasks.link_prediction.LinkPredictionTask` grid per dataset
+(the legacy driver reseeded its generator per dataset, so the adapter runs
+one shared-stream Runner per dataset to keep the published numbers).
 """
 
 from __future__ import annotations
 
 from repro.core.variants import ABLATION_VARIANTS
-from repro.datasets import PAPER_DATASETS, load
-from repro.eval.link_prediction import evaluate_operator, prepare_link_prediction
-from repro.utils.rng import ensure_rng
+from repro.datasets import PAPER_DATASETS
+from repro.tasks import LinkPredictionTask, Runner
 
 
 def run_table7(
@@ -19,20 +22,25 @@ def run_table7(
     epochs: int = 3,
     seed: int = 0,
     repeats: int = 5,
+    rng_mode: str = "shared",
 ) -> dict[str, dict[str, float]]:
     """Regenerate Table VII: ``{variant: {dataset: weighted-L2 F1}}``."""
+    factories = {
+        name: (lambda make=make: make(seed=seed, dim=dim, epochs=epochs))
+        for name, make in ABLATION_VARIANTS.items()
+    }
+    task = LinkPredictionTask(
+        fraction=0.2, operators=("Weighted-L2",), repeats=repeats
+    )
     results: dict[str, dict[str, float]] = {v: {} for v in ABLATION_VARIANTS}
     for ds in datasets:
-        graph = load(ds, scale=scale, seed=seed)
-        rng = ensure_rng(seed)
-        data = prepare_link_prediction(graph, fraction=0.2, rng=rng)
-        for variant, factory in ABLATION_VARIANTS.items():
-            model = factory(seed=seed, dim=dim, epochs=epochs)
-            model.fit(data.train_graph)
-            metrics = evaluate_operator(
-                model.embeddings(), data, "Weighted-L2", repeats=repeats, rng=rng
-            )
-            results[variant][ds] = metrics["f1"]
+        table = Runner(
+            [ds], factories, [task], scale=scale, seed=seed, rng_mode=rng_mode
+        ).run()
+        for variant in ABLATION_VARIANTS:
+            results[variant][ds] = table.cell(ds, variant, task.name).metrics[
+                "Weighted-L2/f1"
+            ]
     return results
 
 

@@ -3,6 +3,8 @@
 Each method is run for exactly one epoch (one pass over its training unit:
 edge formations for EHNA, the walk corpus for Node2Vec/CTDNE, the edge-sample
 budget for LINE, formation events for HTNE) and wall-clock time is recorded.
+A thin adapter over the task Runner: a :class:`~repro.tasks.timing.FitTimingTask`
+grid whose "metric" is the Runner's per-cell ``fit_seconds`` capture.
 Absolute numbers reflect this pure-Python substrate, but the paper's *shape*
 is what matters: HTNE cheapest, LINE flat across datasets (its cost depends
 only on the sample budget), EHNA in between — see EXPERIMENTS.md.
@@ -12,19 +14,27 @@ from __future__ import annotations
 
 from repro.baselines import CTDNE, HTNE, LINE, Node2Vec
 from repro.core import EHNA
-from repro.datasets import PAPER_DATASETS, load
-from repro.utils.timers import Timer
+from repro.datasets import PAPER_DATASETS
+from repro.tasks import FitTimingTask, Runner
 
 
-def one_epoch_methods(dim: int = 32, seed: int = 0):
-    """Single-epoch configurations of every method (fixed LINE budget)."""
+def one_epoch_methods(dim: int = 32, seed: int = 0, line_total_samples: int = 50_000):
+    """Single-epoch configurations of every method (fixed LINE budget).
+
+    The LINE factory takes the training graph (the Runner passes it to
+    one-required-argument factories) so the *total* sample budget is fixed
+    across datasets, as in the paper.
+    """
+
+    def line_factory(graph):
+        model = LINE(dim=dim, samples_per_edge=1, seed=seed)
+        model.samples_per_edge = max(line_total_samples // graph.num_edges, 1)
+        return model
+
     return {
         "Node2Vec": lambda: Node2Vec(dim=dim, epochs=1, seed=seed),
         "CTDNE": lambda: CTDNE(dim=dim, epochs=1, seed=seed),
-        # LINE's per-epoch cost is sample-count-bound: the run_table8 driver
-        # overwrites samples_per_edge so the *total* budget is fixed across
-        # datasets, as in the paper.
-        "LINE": lambda: LINE(dim=dim, samples_per_edge=1, seed=seed),
+        "LINE": line_factory,
         "HTNE": lambda: HTNE(dim=dim, epochs=1, seed=seed),
         "EHNA": lambda: EHNA(dim=dim, epochs=1, seed=seed),
     }
@@ -38,17 +48,17 @@ def run_table8(
     line_total_samples: int = 50_000,
 ) -> dict[str, dict[str, float]]:
     """Regenerate Table VIII: ``{method: {dataset: seconds/epoch}}``."""
+    methods = one_epoch_methods(
+        dim=dim, seed=seed, line_total_samples=line_total_samples
+    )
+    task = FitTimingTask()
+    table = Runner(list(datasets), methods, [task], scale=scale, seed=seed).run()
     results: dict[str, dict[str, float]] = {}
     for ds in datasets:
-        graph = load(ds, scale=scale, seed=seed)
-        for name, factory in one_epoch_methods(dim=dim, seed=seed).items():
-            model = factory()
-            if name == "LINE":
-                # Same absolute budget per dataset, like the paper.
-                model.samples_per_edge = max(line_total_samples // graph.num_edges, 1)
-            with Timer() as t:
-                model.fit(graph)
-            results.setdefault(name, {})[ds] = t.elapsed
+        for name in methods:
+            results.setdefault(name, {})[ds] = table.cell(
+                ds, name, task.name
+            ).fit_seconds
     return results
 
 

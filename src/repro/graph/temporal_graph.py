@@ -54,7 +54,7 @@ class TemporalGraph:
         self._time = time
         self._weight = weight
         self._build_incidence()
-        self._pair_set = None  # lazy: set of (min(u,v), max(u,v))
+        self._pair_keys = None  # lazy: sorted unique min*n+max pair keys
         self._times01 = None  # lazy: times rescaled to [0, 1]
         self._inc_weight = None  # lazy: per-incidence-slot edge weights
         self._distinct = None  # lazy: distinct-neighbor CSR
@@ -371,14 +371,42 @@ class TemporalGraph:
         out[has] = self._inc_time[hi[has] - 1]
         return out
 
-    def has_edge(self, u: int, v: int) -> bool:
-        """Whether any event ever connected ``u`` and ``v``."""
-        if self._pair_set is None:
+    def _pair_index(self) -> np.ndarray:
+        """Sorted unique canonical pair keys (``min * num_nodes + max``)."""
+        if self._pair_keys is None:
             lo = np.minimum(self._src, self._dst)
             hi = np.maximum(self._src, self._dst)
-            self._pair_set = set(zip(lo.tolist(), hi.tolist()))
+            self._pair_keys = np.unique(lo * np.int64(self._n) + hi)
+        return self._pair_keys
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether any event ever connected ``u`` and ``v``."""
+        keys = self._pair_index()
         a, b = (u, v) if u < v else (v, u)
-        return (a, b) in self._pair_set
+        key = a * self._n + b
+        idx = int(np.searchsorted(keys, key))
+        return idx < keys.size and keys[idx] == key
+
+    def has_edges(self, u, v) -> np.ndarray:
+        """Vectorized :meth:`has_edge` over parallel node arrays.
+
+        Returns a boolean array: ``out[i]`` is whether any event ever
+        connected ``u[i]`` and ``v[i]``.  Membership is one ``searchsorted``
+        against the shared sorted pair-key index, so checking a batch of
+        pairs costs O(batch × log distinct-pairs) instead of a per-pair
+        Python loop.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("u and v must have the same shape")
+        keys = self._pair_index()
+        key = np.minimum(u, v) * np.int64(self._n) + np.maximum(u, v)
+        idx = np.searchsorted(keys, key)
+        inside = idx < keys.size
+        out = np.zeros(u.shape, dtype=bool)
+        out[inside] = keys[idx[inside]] == key[inside]
+        return out
 
     # ------------------------------------------------------------------
     # temporal slicing

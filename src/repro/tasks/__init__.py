@@ -1,0 +1,56 @@
+"""Task API v2: declarative evaluation tasks, a caching Runner, structured results.
+
+The evaluation counterpart of the v2 method protocol: Section V's
+(dataset × method × task) grid expressed as data instead of hand-rolled
+drivers.
+
+- :class:`~repro.tasks.base.Task` — the two-phase protocol
+  (``prepare(graph, rng)`` / ``evaluate(model, data, rng)``);
+- four scenarios: :class:`LinkPredictionTask`, :class:`ReconstructionTask`
+  (the paper's Tables III-VI and Figure 4), plus
+  :class:`NodeClassificationTask` (community-label probe) and
+  :class:`TemporalRankingTask` (time-anchored future-neighbor ranking —
+  the first consumer of ``encode(nodes, at=times)``), and
+  :class:`FitTimingTask` for pure efficiency grids (Table VIII);
+- :class:`Runner` — executes a grid with one ``fit()`` per
+  (method, dataset, fit-key), per-cell timing capture and per-cell RNG
+  isolation;
+- :class:`ResultTable` — the one structured result shape
+  (``to_markdown()`` / ``to_json()``, uniform error-reduction column).
+
+Any grid cell is runnable from the shell: ``python -m repro.tasks --help``.
+"""
+
+from repro.tasks.base import Task, TaskData
+from repro.tasks.link_prediction import LinkPredictionTask
+from repro.tasks.node_classification import NodeClassificationTask
+from repro.tasks.reconstruction import ReconstructionTask
+from repro.tasks.results import RESULT_SCHEMA, Cell, ResultTable
+from repro.tasks.runner import Runner, cell_rng
+from repro.tasks.temporal_ranking import TemporalRankingTask
+from repro.tasks.timing import FitTimingTask
+
+#: CLI/registry names for every built-in task type.
+TASK_TYPES = {
+    LinkPredictionTask.name: LinkPredictionTask,
+    ReconstructionTask.name: ReconstructionTask,
+    NodeClassificationTask.name: NodeClassificationTask,
+    TemporalRankingTask.name: TemporalRankingTask,
+    FitTimingTask.name: FitTimingTask,
+}
+
+__all__ = [
+    "Task",
+    "TaskData",
+    "LinkPredictionTask",
+    "ReconstructionTask",
+    "NodeClassificationTask",
+    "TemporalRankingTask",
+    "FitTimingTask",
+    "Runner",
+    "cell_rng",
+    "ResultTable",
+    "Cell",
+    "RESULT_SCHEMA",
+    "TASK_TYPES",
+]

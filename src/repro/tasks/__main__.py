@@ -1,0 +1,8 @@
+"""``python -m repro.tasks`` — run evaluation grids from the shell."""
+
+import sys
+
+from repro.tasks.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The task protocol: declarative evaluation scenarios over trained models.
+
+Protocol v2 (``repro.base``) made every *method* uniform; this module does
+the same for *tasks*.  A :class:`Task` is a declarative description of one
+evaluation scenario from Section V — what to hold out, what to measure —
+split into two phases so the :class:`~repro.tasks.runner.Runner` can cache
+the expensive part between them:
+
+- ``prepare(graph, rng) -> TaskData`` derives the training graph and any
+  held-out evaluation payload from a dataset graph (once per
+  dataset × task);
+- ``evaluate(model, data, rng) -> {metric: value}`` scores a *trained*
+  model against the prepared data (once per dataset × task × method).
+
+Tasks never call ``fit`` themselves.  The Runner owns training, keyed by
+:attr:`Task.fit_key` — a hashable description of how ``prepare`` derives
+its training graph — so any two tasks with equal ``fit_key`` (e.g. link
+prediction and temporal ranking over the same 20% holdout) share one
+trained model per (method, dataset) instead of refitting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+import numpy as np
+
+from repro.base import EmbeddingMethod
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass
+class TaskData:
+    """Output of :meth:`Task.prepare`.
+
+    ``train_graph`` is what the Runner fits methods on; ``payload`` holds
+    whatever the task's ``evaluate`` needs (held-out pairs, labels, ranking
+    queries, ...) and is opaque to the Runner.
+    """
+
+    train_graph: TemporalGraph
+    payload: Any = None
+    full_graph: TemporalGraph | None = field(default=None, repr=False)
+
+
+class Task(abc.ABC):
+    """One evaluation scenario (see module docstring for the lifecycle)."""
+
+    #: Registry/CLI identifier and the label used in result tables.
+    name: str = "task"
+
+    @property
+    def fit_key(self) -> Hashable:
+        """Hashable description of how ``prepare`` derives its training graph.
+
+        Two tasks returning equal keys MUST produce identical
+        ``TaskData.train_graph`` from the same dataset graph — that is the
+        contract that lets the Runner reuse one trained model across them.
+        The default is the full input graph (no holdout).
+        """
+        return ("full",)
+
+    @abc.abstractmethod
+    def prepare(self, graph: TemporalGraph, rng: np.random.Generator) -> TaskData:
+        """Derive the training graph and evaluation payload from ``graph``."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, model: EmbeddingMethod, data: TaskData, rng: np.random.Generator
+    ) -> dict[str, float]:
+        """Score a trained ``model`` against ``data``; flat metric dict."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def check_same_split(task: Task, data: TaskData, cached: TemporalGraph) -> None:
+    """Guard the ``fit_key`` contract: a task claiming a cached fit must have
+    prepared the very graph that fit was trained on."""
+    if (
+        data.train_graph.num_edges != cached.num_edges
+        or data.train_graph.num_nodes != cached.num_nodes
+    ):
+        raise RuntimeError(
+            f"task {task.name!r} declares fit_key {task.fit_key!r} but prepared "
+            "a different training graph than the cached fit for that key; "
+            "fix the task's fit_key property"
+        )

@@ -1,0 +1,122 @@
+"""Node classification: a logistic probe over embeddings, community labels.
+
+A new scenario beyond the paper's Section V (the ROADMAP's
+scenario-diversity axis), standard in the temporal-embedding literature:
+freeze the trained embedding table, fit a one-vs-rest logistic-regression
+probe on a labeled node split, and report accuracy / macro-F1 on the rest.
+Labels come from :func:`repro.datasets.generators.community_labels` — the
+community structure the dataset generators encode implicitly — or can be
+supplied explicitly for external graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.generators import community_labels
+from repro.eval.classifiers import LogisticRegression
+from repro.eval.metrics import binary_metrics
+from repro.graph.temporal_graph import TemporalGraph
+from repro.tasks.base import Task, TaskData
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass
+class ClassificationPayload:
+    """Labels for every node, fixed for all methods evaluated on a cell."""
+
+    labels: np.ndarray  # (num_nodes,) int64 class ids
+    num_classes: int
+
+
+def one_vs_rest_probe(
+    features: np.ndarray,
+    labels: np.ndarray,
+    train_idx: np.ndarray,
+    test_idx: np.ndarray,
+    num_classes: int,
+) -> np.ndarray:
+    """Fit one binary LR per class on the train split; argmax on the test.
+
+    Returns the predicted class ids for ``test_idx``.  A class absent from
+    the train split fits against all-zero targets and simply scores low.
+    """
+    margins = np.empty((test_idx.size, num_classes))
+    for c in range(num_classes):
+        clf = LogisticRegression().fit(
+            features[train_idx], (labels[train_idx] == c).astype(np.int64)
+        )
+        margins[:, c] = clf.decision_function(features[test_idx])
+    return np.argmax(margins, axis=1)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int) -> float:
+    """Unweighted mean of the per-class binary F1 scores."""
+    scores = [
+        binary_metrics(y_true == c, y_pred == c)["f1"] for c in range(num_classes)
+    ]
+    return float(np.mean(scores))
+
+
+class NodeClassificationTask(Task):
+    """Probe community membership from frozen embeddings.
+
+    Trains on the full graph (classification probes the final
+    representation, nothing is held out of training), so it shares a fit
+    with :class:`~repro.tasks.reconstruction.ReconstructionTask`.
+    """
+
+    name = "node_classification"
+
+    def __init__(
+        self,
+        num_communities: int = 4,
+        train_ratio: float = 0.5,
+        repeats: int = 5,
+        labels: np.ndarray | None = None,
+    ):
+        check_positive("num_communities", num_communities)
+        check_fraction("train_ratio", train_ratio)
+        check_positive("repeats", repeats)
+        self.num_communities = int(num_communities)
+        self.train_ratio = float(train_ratio)
+        self.repeats = int(repeats)
+        self.labels = None if labels is None else np.asarray(labels, dtype=np.int64)
+
+    def prepare(self, graph: TemporalGraph, rng: np.random.Generator) -> TaskData:
+        if self.labels is not None:
+            labels = self.labels
+            if labels.size != graph.num_nodes:
+                raise ValueError(
+                    f"got {labels.size} labels for {graph.num_nodes} nodes"
+                )
+        else:
+            labels = community_labels(graph, self.num_communities, seed=rng)
+        num_classes = max(self.num_communities, int(labels.max()) + 1)
+        return TaskData(
+            train_graph=graph,
+            payload=ClassificationPayload(labels=labels, num_classes=num_classes),
+            full_graph=graph,
+        )
+
+    def evaluate(self, model, data: TaskData, rng) -> dict[str, float]:
+        payload: ClassificationPayload = data.payload
+        features = model.embeddings()
+        n = payload.labels.size
+        n_train = max(int(round(n * self.train_ratio)), payload.num_classes)
+        acc_sum = f1_sum = 0.0
+        for _ in range(self.repeats):
+            perm = rng.permutation(n)
+            train_idx, test_idx = perm[:n_train], perm[n_train:]
+            preds = one_vs_rest_probe(
+                features, payload.labels, train_idx, test_idx, payload.num_classes
+            )
+            truth = payload.labels[test_idx]
+            acc_sum += float(np.mean(preds == truth))
+            f1_sum += macro_f1(truth, preds, payload.num_classes)
+        return {
+            "accuracy": acc_sum / self.repeats,
+            "macro_f1": f1_sum / self.repeats,
+        }

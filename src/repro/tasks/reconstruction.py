@@ -1,0 +1,46 @@
+"""Network reconstruction as a declarative task (Section V.D, Figure 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.reconstruction import reconstruction_precision
+from repro.graph.temporal_graph import TemporalGraph
+from repro.tasks.base import Task, TaskData
+from repro.utils.validation import check_positive
+
+#: Laptop-scale cutoff grid (the paper's 1e2..1e6, shrunk with the graphs).
+DEFAULT_PS = (100, 300, 1000, 3000, 10000)
+
+
+class ReconstructionTask(Task):
+    """Rank node pairs by embedding dot product; measure Precision@P.
+
+    Methods train on the *full* graph (reconstruction probes how well the
+    embedding preserves observed structure), so this task shares its fit
+    with any other full-graph task.  Metrics are keyed ``"precision@<P>"``.
+    """
+
+    name = "reconstruction"
+
+    def __init__(self, ps=DEFAULT_PS, sample_size: int | None = None, repeats: int = 3):
+        for p in ps:
+            check_positive("P", p)
+        check_positive("repeats", repeats)
+        self.ps = tuple(int(p) for p in ps)
+        self.sample_size = sample_size
+        self.repeats = int(repeats)
+
+    def prepare(self, graph: TemporalGraph, rng: np.random.Generator) -> TaskData:
+        return TaskData(train_graph=graph, payload=None, full_graph=graph)
+
+    def evaluate(self, model, data: TaskData, rng) -> dict[str, float]:
+        curve = reconstruction_precision(
+            model.embeddings(),
+            data.train_graph,
+            list(self.ps),
+            sample_size=self.sample_size,
+            repeats=self.repeats,
+            rng=rng,
+        )
+        return {f"precision@{p}": v for p, v in curve.items()}

@@ -1,0 +1,203 @@
+"""Structured results for task grids: one schema for every table.
+
+The legacy drivers each invented a nested-dict shape (operator→metric→method,
+dataset→method→P, variant→dataset…).  A :class:`ResultTable` is the single
+shape the Runner emits: a flat list of :class:`Cell` records — one per
+(dataset × method × task) — carrying the metric dict plus the Runner's
+timing capture.  Renderers (`to_markdown`, `to_json`) and the uniform
+error-reduction column live here; the legacy drivers reshape cells back
+into their historical layouts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.eval.metrics import error_reduction
+
+#: Versioned identifier embedded in every JSON export.
+RESULT_SCHEMA = "repro.tasks/result-table@1"
+
+
+@dataclass
+class Cell:
+    """One grid cell: a method evaluated on a task over a dataset."""
+
+    dataset: str
+    method: str
+    task: str
+    metrics: dict[str, float] = field(default_factory=dict)
+    fit_seconds: float = 0.0
+    eval_seconds: float = 0.0
+    fit_cached: bool = False
+
+
+def _ordered_unique(items) -> list:
+    seen = {}
+    for item in items:
+        seen.setdefault(item, None)
+    return list(seen)
+
+
+class ResultTable:
+    """An immutable-ish collection of grid cells with uniform renderers."""
+
+    def __init__(self, cells):
+        self.cells: list[Cell] = list(cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    # ------------------------------------------------------------------
+    # axes and lookups
+    # ------------------------------------------------------------------
+    def datasets(self) -> list[str]:
+        """Dataset names in first-appearance order."""
+        return _ordered_unique(c.dataset for c in self.cells)
+
+    def methods(self) -> list[str]:
+        """Method names in first-appearance order."""
+        return _ordered_unique(c.method for c in self.cells)
+
+    def tasks(self) -> list[str]:
+        """Task names in first-appearance order."""
+        return _ordered_unique(c.task for c in self.cells)
+
+    def cell(self, dataset: str, method: str, task: str) -> Cell:
+        """The unique cell at the given coordinates (KeyError if absent)."""
+        for c in self.cells:
+            if c.dataset == dataset and c.method == method and c.task == task:
+                return c
+        raise KeyError(f"no cell for ({dataset!r}, {method!r}, {task!r})")
+
+    def metric_names(self, dataset: str, task: str) -> list[str]:
+        """Metric keys seen on (dataset, task) cells, first-appearance order."""
+        return _ordered_unique(
+            name
+            for c in self.cells
+            if c.dataset == dataset and c.task == task
+            for name in c.metrics
+        )
+
+    def row(self, dataset: str, task: str, metric: str) -> dict[str, float]:
+        """``{method: value}`` for one metric of one (dataset, task) block."""
+        return {
+            c.method: c.metrics[metric]
+            for c in self.cells
+            if c.dataset == dataset and c.task == task and metric in c.metrics
+        }
+
+    def num_fits(self) -> int:
+        """How many actual ``fit()`` calls produced this table (cache misses)."""
+        return sum(not c.fit_cached for c in self.cells)
+
+    # ------------------------------------------------------------------
+    # the uniform error-reduction column
+    # ------------------------------------------------------------------
+    def reduction(
+        self, dataset: str, task: str, metric: str, target: str = "EHNA"
+    ) -> float | None:
+        """Error reduction of ``target`` vs the best other method on a row.
+
+        The Table III footnote formula, applied uniformly to any
+        higher-is-better metric; None when the row lacks the target or any
+        baseline.
+        """
+        row = self.row(dataset, task, metric)
+        if target not in row:
+            return None
+        baselines = [v for m, v in row.items() if m != target]
+        if not baselines:
+            return None
+        return error_reduction(max(baselines), row[target])
+
+    # ------------------------------------------------------------------
+    # renderers
+    # ------------------------------------------------------------------
+    def to_markdown(self, target: str = "EHNA", timings: bool = True) -> str:
+        """GitHub-flavored pipe tables, one block per (dataset, task)."""
+        lines: list[str] = []
+        for dataset in self.datasets():
+            for task in self.tasks():
+                metrics = self.metric_names(dataset, task)
+                if not metrics:
+                    continue
+                methods = _ordered_unique(
+                    c.method
+                    for c in self.cells
+                    if c.dataset == dataset and c.task == task
+                )
+                lines.append(f"### {dataset} · {task}")
+                lines.append("")
+                header = ["metric", *methods]
+                with_er = any(
+                    self.reduction(dataset, task, m, target) is not None
+                    for m in metrics
+                )
+                if with_er:
+                    header.append("err.red.")
+                lines.append("| " + " | ".join(header) + " |")
+                lines.append("|" + "---|" * len(header))
+                for metric in metrics:
+                    row = self.row(dataset, task, metric)
+                    cells = [metric] + [
+                        f"{row[m]:.4f}" if m in row else "—" for m in methods
+                    ]
+                    if with_er:
+                        er = self.reduction(dataset, task, metric, target)
+                        cells.append(f"{100 * er:+.1f}%" if er is not None else "—")
+                    lines.append("| " + " | ".join(cells) + " |")
+                lines.append("")
+        if timings and self.cells:
+            lines.append("### timings")
+            lines.append("")
+            lines.append("| dataset | task | method | fit (s) | cached | eval (s) |")
+            lines.append("|---|---|---|---|---|---|")
+            for c in self.cells:
+                lines.append(
+                    f"| {c.dataset} | {c.task} | {c.method} "
+                    f"| {c.fit_seconds:.3f} | {'yes' if c.fit_cached else 'no'} "
+                    f"| {c.eval_seconds:.3f} |"
+                )
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Versioned JSON: ``{"schema": ..., "cells": [...]}``."""
+        payload = {
+            "schema": RESULT_SCHEMA,
+            "cells": [
+                {
+                    "dataset": c.dataset,
+                    "method": c.method,
+                    "task": c.task,
+                    "metrics": dict(c.metrics),
+                    "fit_seconds": c.fit_seconds,
+                    "eval_seconds": c.eval_seconds,
+                    "fit_cached": c.fit_cached,
+                }
+                for c in self.cells
+            ],
+        }
+        return json.dumps(payload, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultTable":
+        """Inverse of :meth:`to_json` (schema-checked)."""
+        payload = json.loads(text)
+        schema = payload.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported result schema {schema!r}; expected {RESULT_SCHEMA!r}"
+            )
+        return cls(Cell(**cell) for cell in payload["cells"])
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultTable(cells={len(self.cells)}, datasets={self.datasets()}, "
+            f"methods={self.methods()}, tasks={self.tasks()})"
+        )

@@ -1,0 +1,148 @@
+"""Temporal ranking: rank true future neighbors at held-out event times.
+
+The one task that genuinely exercises the v2 time-anchored surface,
+``encode(nodes, at=times)``: every query embeds its source and candidates
+*as of the held-out event's timestamp*, so a time-aware method (EHNA) gets
+to aggregate exactly the history available at prediction time, while
+table-serving baselines answer with their frozen vectors (their documented
+time-invariance).  Nothing in the legacy harnesses evaluated this surface.
+
+Protocol: hold out the most recent ``fraction`` of events (the
+link-prediction split, so the fit is shared with
+:class:`~repro.tasks.link_prediction.LinkPredictionTask`); each held event
+``(u, v, t)`` becomes a query ranking the true future neighbor ``v``
+against ``num_candidates`` sampled non-neighbors of ``u``, all scored by
+dot product of anchored embeddings.  Reported: MRR and Hits@k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.tasks.base import Task, TaskData
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass
+class RankingPayload:
+    """Prepared ranking queries, fixed for all methods on a cell."""
+
+    sources: np.ndarray  # (q,) query source nodes
+    anchors: np.ndarray  # (q,) event times (the encode() anchors)
+    positives: np.ndarray  # (q,) the true future neighbor
+    candidates: np.ndarray  # (q, C) sampled non-neighbor distractors
+
+
+class TemporalRankingTask(Task):
+    """Rank the true future neighbor at the moment the event happened."""
+
+    name = "temporal_ranking"
+
+    def __init__(
+        self,
+        fraction: float = 0.2,
+        num_candidates: int = 20,
+        max_queries: int = 40,
+        ks: tuple[int, ...] = (1, 5),
+    ):
+        check_fraction("fraction", fraction)
+        check_positive("num_candidates", num_candidates)
+        check_positive("max_queries", max_queries)
+        for k in ks:
+            check_positive("k", k)
+        self.fraction = float(fraction)
+        self.num_candidates = int(num_candidates)
+        self.max_queries = int(max_queries)
+        self.ks = tuple(int(k) for k in ks)
+
+    @property
+    def fit_key(self):
+        return ("holdout", self.fraction)
+
+    def _sample_candidates(
+        self,
+        train_graph: TemporalGraph,
+        u: int,
+        v: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """``num_candidates`` distinct distractor nodes for query ``(u, v)``.
+
+        Preferred distractors are neither endpoint nor a training-time
+        neighbor of ``u``; when a hub (or a tiny graph) leaves too few of
+        those, remaining slots are topped up with ``u``'s own training
+        neighbors — still never ``u`` or the true answer ``v`` — so the
+        query stays well-posed at every scale.
+        """
+        n = train_graph.num_nodes
+        mask = np.ones(n, dtype=bool)
+        mask[u] = mask[v] = False
+        mask[train_graph.neighbors(u)] = False
+        eligible = np.flatnonzero(mask)
+        if eligible.size >= self.num_candidates:
+            return np.sort(rng.choice(eligible, self.num_candidates, replace=False))
+        mask[train_graph.neighbors(u)] = True
+        mask[u] = mask[v] = False
+        fallback = np.flatnonzero(mask)
+        if fallback.size < self.num_candidates:
+            raise RuntimeError(
+                f"cannot rank against {self.num_candidates} candidates in a "
+                f"{n}-node graph; lower num_candidates"
+            )
+        extra = np.setdiff1d(fallback, eligible)
+        top_up = rng.choice(
+            extra, self.num_candidates - eligible.size, replace=False
+        )
+        return np.sort(np.concatenate([eligible, top_up]))
+
+    def prepare(self, graph: TemporalGraph, rng: np.random.Generator) -> TaskData:
+        train_graph, held = graph.split_recent(self.fraction)
+        if held.size > self.max_queries:
+            held = np.sort(rng.choice(held, size=self.max_queries, replace=False))
+        sources = graph.src[held].astype(np.int64)
+        positives = graph.dst[held].astype(np.int64)
+        anchors = graph.time[held].astype(np.float64)
+        candidates = np.stack(
+            [
+                self._sample_candidates(train_graph, int(u), int(v), rng)
+                for u, v in zip(sources, positives)
+            ]
+        )
+        return TaskData(
+            train_graph=train_graph,
+            payload=RankingPayload(
+                sources=sources,
+                anchors=anchors,
+                positives=positives,
+                candidates=candidates,
+            ),
+            full_graph=graph,
+        )
+
+    def evaluate(self, model, data: TaskData, rng) -> dict[str, float]:
+        p: RankingPayload = data.payload
+        q, c = p.candidates.shape
+        # One batched, per-node-anchored encode call covers every query's
+        # source, its true neighbor and all its distractors.
+        nodes = np.concatenate([p.sources, p.positives, p.candidates.ravel()])
+        anchors = np.concatenate([p.anchors, p.anchors, np.repeat(p.anchors, c)])
+        emb = model.encode(nodes, at=anchors.tolist())
+        src_emb = emb[:q]
+        pos_emb = emb[q : 2 * q]
+        cand_emb = emb[2 * q :].reshape(q, c, -1)
+
+        pos_score = np.sum(src_emb * pos_emb, axis=1)
+        cand_score = np.einsum("qd,qcd->qc", src_emb, cand_emb)
+        # Average-rank tie handling keeps the metric deterministic without
+        # favoring either side of an exact score collision.
+        better = (cand_score > pos_score[:, None]).sum(axis=1)
+        ties = (cand_score == pos_score[:, None]).sum(axis=1)
+        rank = 1.0 + better + 0.5 * ties
+
+        out = {"mrr": float(np.mean(1.0 / rank))}
+        for k in self.ks:
+            out[f"hits@{k}"] = float(np.mean(rank <= k))
+        return out

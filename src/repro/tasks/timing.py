@@ -1,0 +1,26 @@
+"""Pure-efficiency task: train, measure nothing but the Runner's timers.
+
+Table VIII is a timing study — its "metric" is the per-cell ``fit_seconds``
+the Runner captures for every cell anyway.  This task contributes an empty
+metric dict and exists so an efficiency grid is expressible in the same
+(datasets × methods × tasks) vocabulary as the accuracy tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.tasks.base import Task, TaskData
+
+
+class FitTimingTask(Task):
+    """Fit on the full graph; report no metrics (timing rides on the cell)."""
+
+    name = "fit_timing"
+
+    def prepare(self, graph: TemporalGraph, rng: np.random.Generator) -> TaskData:
+        return TaskData(train_graph=graph, payload=None, full_graph=graph)
+
+    def evaluate(self, model, data: TaskData, rng) -> dict[str, float]:
+        return {}

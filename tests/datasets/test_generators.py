@@ -4,6 +4,9 @@ import numpy as np
 import pytest
 
 from repro.datasets import (
+    UnknownDatasetError,
+    available,
+    community_labels,
     dblp_like,
     digg_like,
     load,
@@ -142,6 +145,50 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(KeyError, match="unknown dataset"):
             load("facebook")
+
+    def test_unknown_name_is_also_a_value_error_listing_names(self):
+        with pytest.raises(ValueError) as exc_info:
+            load("facebook")
+        assert isinstance(exc_info.value, UnknownDatasetError)
+        for name in PAPER_DATASETS:
+            assert name in str(exc_info.value)
+
+    def test_available(self):
+        assert available() == PAPER_DATASETS
+
+    def test_labels_option(self):
+        graph, labels = load("digg", scale=0.1, seed=0, labels=True)
+        assert labels.shape == (graph.num_nodes,)
+        assert labels.dtype == np.int64
+        assert set(np.unique(labels)) <= set(range(4))
+
+    def test_labels_do_not_perturb_the_graph(self):
+        plain = load("yelp", scale=0.1, seed=4)
+        labeled, _ = load("yelp", scale=0.1, seed=4, labels=True)
+        np.testing.assert_array_equal(plain.src, labeled.src)
+        np.testing.assert_array_equal(plain.dst, labeled.dst)
+        np.testing.assert_array_equal(plain.time, labeled.time)
+
+
+class TestCommunityLabels:
+    def test_deterministic(self):
+        g = load("digg", scale=0.1, seed=0)
+        a = community_labels(g, seed=0)
+        b = community_labels(g, seed=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_every_community_populated_and_balanced(self):
+        g = load("digg", scale=0.2, seed=0)
+        labels = community_labels(g, num_communities=4, seed=0)
+        counts = np.bincount(labels, minlength=4)
+        assert counts.min() >= 1
+        # balanced region growing: no community hoards the graph
+        assert counts.max() <= 3 * max(counts.min(), 1)
+
+    def test_more_communities_than_nodes_clamps(self):
+        g = temporal_sbm(num_nodes=6, num_edges=30, seed=0)
+        labels = community_labels(g, num_communities=50, seed=0)
+        assert labels.max() < g.num_nodes
 
     def test_case_insensitive(self):
         assert load("DBLP", scale=0.05, seed=0).num_edges > 0

@@ -1,0 +1,58 @@
+"""The ``python -m repro.tasks`` entry point (run in-process)."""
+
+import json
+
+import pytest
+
+from repro.tasks.cli import main
+
+FAST = ["--scale", "0.05", "--dim", "8", "--repeats", "1",
+        "--ehna-epochs", "1", "--sgns-epochs", "1", "--quiet"]
+
+
+def test_markdown_output(capsys):
+    rc = main(["--datasets", "digg", "--methods", "LINE",
+               "--tasks", "node_classification", *FAST])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "### digg · node_classification" in out
+    assert "| accuracy |" in out
+
+
+def test_json_output(capsys):
+    rc = main(["--datasets", "digg", "--methods", "LINE",
+               "--tasks", "reconstruction", "--format", "json", *FAST])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.tasks/result-table@1"
+    cell = payload["cells"][0]
+    assert (cell["dataset"], cell["method"], cell["task"]) == (
+        "digg", "LINE", "reconstruction",
+    )
+
+
+def test_out_file(tmp_path, capsys):
+    target = tmp_path / "grid.md"
+    rc = main(["--datasets", "digg", "--methods", "LINE",
+               "--tasks", "reconstruction", "--out", str(target), *FAST])
+    assert rc == 0
+    assert "### digg · reconstruction" in target.read_text()
+    capsys.readouterr()  # drain
+
+
+def test_unknown_method_is_an_error(capsys):
+    rc = main(["--datasets", "digg", "--methods", "GPT", *FAST])
+    assert rc == 2
+    assert "unknown methods" in capsys.readouterr().err
+
+
+def test_unknown_dataset_is_an_error(capsys):
+    rc = main(["--datasets", "facebook", "--methods", "LINE",
+               "--tasks", "reconstruction", *FAST])
+    assert rc == 2
+    assert "unknown dataset" in capsys.readouterr().err
+
+
+def test_unknown_task_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        main(["--tasks", "clustering"])

@@ -1,0 +1,150 @@
+"""Legacy-driver equivalence: the Runner adapters reproduce the pre-refactor
+drivers bitwise at a fixed seed.
+
+Each reference below is the pre-Runner driver loop, inlined verbatim (same
+call sequence, same shared-generator threading).  Exact float equality is
+asserted — the adapters in shared-RNG mode must consume the generator
+stream in the identical order.
+"""
+
+import pytest
+
+from repro.baselines import LINE, Node2Vec
+from repro.core import EHNA
+from repro.core.variants import ABLATION_VARIANTS
+from repro.datasets import load
+from repro.eval.link_prediction import (
+    evaluate_all_operators,
+    evaluate_operator,
+    prepare_link_prediction,
+)
+from repro.eval.metrics import error_reduction
+from repro.eval.reconstruction import reconstruction_precision
+from repro.experiments import run_fig4, run_fig5, run_link_table, run_table7
+from repro.utils.rng import ensure_rng
+
+TINY_METHODS = {
+    "LINE": lambda: LINE(dim=8, samples_per_edge=5, seed=0),
+    "Node2Vec": lambda: Node2Vec(dim=8, num_walks=2, walk_length=8, epochs=1, seed=0),
+    "EHNA": lambda: EHNA(dim=8, epochs=1, batch_size=32, num_walks=2,
+                         walk_length=3, num_negatives=2, seed=0),
+}
+METRICS = ("auc", "f1", "precision", "recall")
+
+
+def legacy_run_link_table(dataset, scale, methods, seed, repeats):
+    """The pre-refactor run_link_table loop, verbatim."""
+    graph = load(dataset, scale=scale, seed=seed)
+    rng = ensure_rng(seed)
+    data = prepare_link_prediction(graph, fraction=0.2, rng=rng)
+
+    per_method = {}
+    for name, factory in methods.items():
+        model = factory().fit(data.train_graph)
+        per_method[name] = evaluate_all_operators(
+            model.embeddings(), data, repeats=repeats, rng=rng
+        )
+
+    table = {}
+    method_names = list(per_method)
+    for operator in next(iter(per_method.values())):
+        table[operator] = {}
+        for metric in METRICS:
+            row = {m: per_method[m][operator][metric] for m in method_names}
+            if "EHNA" in row:
+                baselines = [v for m, v in row.items() if m != "EHNA"]
+                if baselines:
+                    row["Error Reduction"] = error_reduction(
+                        max(baselines), row["EHNA"]
+                    )
+            table[operator][metric] = row
+    return table
+
+
+def legacy_run_fig4(datasets, scale, ps, methods, seed, repeats):
+    """The pre-refactor run_fig4 loop, verbatim."""
+    rng = ensure_rng(seed)
+    results = {}
+    for ds in datasets:
+        graph = load(ds, scale=scale, seed=seed)
+        per_method = {}
+        for name, factory in methods.items():
+            model = factory().fit(graph)
+            per_method[name] = reconstruction_precision(
+                model.embeddings(), graph, list(ps), sample_size=None,
+                repeats=repeats, rng=rng,
+            )
+        results[ds] = per_method
+    return results
+
+
+def legacy_run_table7(datasets, scale, dim, epochs, seed, repeats):
+    """The pre-refactor run_table7 loop, verbatim."""
+    results = {v: {} for v in ABLATION_VARIANTS}
+    for ds in datasets:
+        graph = load(ds, scale=scale, seed=seed)
+        rng = ensure_rng(seed)
+        data = prepare_link_prediction(graph, fraction=0.2, rng=rng)
+        for variant, factory in ABLATION_VARIANTS.items():
+            model = factory(seed=seed, dim=dim, epochs=epochs)
+            model.fit(data.train_graph)
+            metrics = evaluate_operator(
+                model.embeddings(), data, "Weighted-L2", repeats=repeats, rng=rng
+            )
+            results[variant][ds] = metrics["f1"]
+    return results
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_link_table_bitwise_equivalence(seed):
+    new = run_link_table("digg", scale=0.12, methods=TINY_METHODS, seed=seed,
+                         repeats=2)
+    old = legacy_run_link_table("digg", scale=0.12, methods=TINY_METHODS,
+                                seed=seed, repeats=2)
+    assert new == old  # exact float equality, every operator/metric/method
+
+
+def test_fig4_bitwise_equivalence():
+    kwargs = dict(datasets=("dblp", "digg"), scale=0.1, ps=(10, 50),
+                  methods={k: TINY_METHODS[k] for k in ("LINE", "Node2Vec")},
+                  seed=3, repeats=1)
+    assert run_fig4(**kwargs) == legacy_run_fig4(**kwargs)
+
+
+def test_table7_bitwise_equivalence():
+    kwargs = dict(datasets=("dblp",), scale=0.1, dim=8, epochs=1, seed=3,
+                  repeats=2)
+    assert run_table7(**kwargs) == legacy_run_table7(**kwargs)
+
+
+def legacy_run_fig5(dataset, scale, dim, epochs, seed, grids):
+    """The pre-refactor run_fig5 loop, verbatim."""
+    graph = load(dataset, scale=scale, seed=seed)
+    rng = ensure_rng(seed)
+    data = prepare_link_prediction(graph, fraction=0.2, rng=rng)
+    base = {"dim": dim, "epochs": epochs}
+
+    def f1_for(**overrides):
+        model = EHNA(seed=seed, **overrides)
+        model.fit(data.train_graph)
+        return evaluate_operator(
+            model.embeddings(), data, "Weighted-L2", repeats=3, rng=rng
+        )["f1"]
+
+    results = {"margin": {}, "walk_length": {}, "log2_p": {}, "log2_q": {}}
+    for m in grids["margin"]:
+        results["margin"][m] = f1_for(margin=float(m), **base)
+    for length in grids["walk_length"]:
+        results["walk_length"][length] = f1_for(walk_length=int(length), **base)
+    for e in grids["log2_p"]:
+        results["log2_p"][e] = f1_for(p=float(2.0**e), **base)
+    for e in grids["log2_q"]:
+        results["log2_q"][e] = f1_for(q=float(2.0**e), **base)
+    return results
+
+
+def test_fig5_bitwise_equivalence():
+    grids = {"margin": [2.0], "walk_length": [2], "log2_p": [0], "log2_q": [1]}
+    new = run_fig5(dataset="yelp", scale=0.1, dim=8, epochs=1, seed=2, grids=grids)
+    old = legacy_run_fig5("yelp", scale=0.1, dim=8, epochs=1, seed=2, grids=grids)
+    assert new == old

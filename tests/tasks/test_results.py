@@ -1,0 +1,114 @@
+"""ResultTable structure, renderers (golden checks) and error reduction."""
+
+import json
+
+import pytest
+
+from repro.eval.metrics import error_reduction
+from repro.tasks import Cell, RESULT_SCHEMA, ResultTable
+
+
+@pytest.fixture
+def table():
+    return ResultTable(
+        [
+            Cell(
+                dataset="digg",
+                method="LINE",
+                task="link_prediction",
+                metrics={"auc": 0.75, "f1": 0.5},
+                fit_seconds=1.5,
+                eval_seconds=0.2,
+                fit_cached=False,
+            ),
+            Cell(
+                dataset="digg",
+                method="EHNA",
+                task="link_prediction",
+                metrics={"auc": 0.9, "f1": 0.625},
+                fit_seconds=2.0,
+                eval_seconds=0.1,
+                fit_cached=True,
+            ),
+        ]
+    )
+
+
+class TestAxes:
+    def test_ordered_axes(self, table):
+        assert table.datasets() == ["digg"]
+        assert table.methods() == ["LINE", "EHNA"]
+        assert table.tasks() == ["link_prediction"]
+        assert table.metric_names("digg", "link_prediction") == ["auc", "f1"]
+
+    def test_row_and_cell(self, table):
+        assert table.row("digg", "link_prediction", "auc") == {
+            "LINE": 0.75,
+            "EHNA": 0.9,
+        }
+        assert table.cell("digg", "EHNA", "link_prediction").fit_cached
+        with pytest.raises(KeyError):
+            table.cell("digg", "HTNE", "link_prediction")
+
+    def test_num_fits(self, table):
+        assert table.num_fits() == 1
+
+
+class TestErrorReduction:
+    def test_uniform_formula(self, table):
+        assert table.reduction("digg", "link_prediction", "auc") == pytest.approx(
+            error_reduction(0.75, 0.9)
+        )
+        assert table.reduction("digg", "link_prediction", "f1") == pytest.approx(
+            error_reduction(0.5, 0.625)
+        )
+
+    def test_missing_target_is_none(self, table):
+        assert table.reduction("digg", "link_prediction", "auc", target="HTNE") is None
+
+
+GOLDEN_MARKDOWN = """\
+### digg · link_prediction
+
+| metric | LINE | EHNA | err.red. |
+|---|---|---|---|
+| auc | 0.7500 | 0.9000 | +60.0% |
+| f1 | 0.5000 | 0.6250 | +25.0% |
+
+### timings
+
+| dataset | task | method | fit (s) | cached | eval (s) |
+|---|---|---|---|---|---|
+| digg | link_prediction | LINE | 1.500 | no | 0.200 |
+| digg | link_prediction | EHNA | 2.000 | yes | 0.100 |
+"""
+
+
+class TestRenderers:
+    def test_markdown_golden(self, table):
+        assert table.to_markdown() == GOLDEN_MARKDOWN
+
+    def test_markdown_without_timings(self, table):
+        text = table.to_markdown(timings=False)
+        assert "### timings" not in text
+        assert "| auc | 0.7500 | 0.9000 | +60.0% |" in text
+
+    def test_json_golden_roundtrip(self, table):
+        text = table.to_json()
+        payload = json.loads(text)
+        assert payload["schema"] == RESULT_SCHEMA
+        assert payload["cells"][0] == {
+            "dataset": "digg",
+            "method": "LINE",
+            "task": "link_prediction",
+            "metrics": {"auc": 0.75, "f1": 0.5},
+            "fit_seconds": 1.5,
+            "eval_seconds": 0.2,
+            "fit_cached": False,
+        }
+        restored = ResultTable.from_json(text)
+        assert restored.to_json() == text
+
+    def test_from_json_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            ResultTable.from_json(json.dumps({"schema": "nope", "cells": []}))

@@ -1,0 +1,171 @@
+"""Unit tests for the four task implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LINE
+from repro.core import EHNA
+from repro.datasets import load
+from repro.eval.operators import OPERATORS
+from repro.tasks import (
+    LinkPredictionTask,
+    NodeClassificationTask,
+    ReconstructionTask,
+    TemporalRankingTask,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load("digg", scale=0.1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def line_model(graph):
+    # Trained on the 20% holdout split shared by the holdout-family tasks.
+    train, _ = graph.split_recent(0.2)
+    return LINE(dim=8, samples_per_edge=3, seed=0).fit(train)
+
+
+@pytest.fixture(scope="module")
+def full_model(graph):
+    return LINE(dim=8, samples_per_edge=3, seed=0).fit(graph)
+
+
+class TestLinkPredictionTask:
+    def test_all_operator_metric_keys(self, graph, line_model):
+        task = LinkPredictionTask(repeats=2)
+        data = task.prepare(graph, np.random.default_rng(0))
+        metrics = task.evaluate(line_model, data, np.random.default_rng(1))
+        expected = {
+            f"{op}/{metric}"
+            for op in OPERATORS
+            for metric in ("auc", "f1", "precision", "recall")
+        }
+        assert set(metrics) == expected
+        assert all(0.0 <= v <= 1.0 for v in metrics.values())
+
+    def test_operator_subset(self, graph, line_model):
+        task = LinkPredictionTask(operators=("Weighted-L2",), repeats=1)
+        data = task.prepare(graph, np.random.default_rng(0))
+        metrics = task.evaluate(line_model, data, np.random.default_rng(1))
+        assert set(metrics) == {
+            "Weighted-L2/auc",
+            "Weighted-L2/f1",
+            "Weighted-L2/precision",
+            "Weighted-L2/recall",
+        }
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="unknown operators"):
+            LinkPredictionTask(operators=("Sum",))
+
+    def test_fit_key_tracks_fraction(self):
+        assert LinkPredictionTask().fit_key == ("holdout", 0.2)
+        assert LinkPredictionTask(fraction=0.3).fit_key == ("holdout", 0.3)
+
+    def test_train_graph_is_holdout_split(self, graph):
+        task = LinkPredictionTask()
+        data = task.prepare(graph, np.random.default_rng(0))
+        assert data.train_graph.num_edges < graph.num_edges
+        assert data.full_graph is graph
+
+
+class TestReconstructionTask:
+    def test_trains_on_full_graph(self, graph):
+        task = ReconstructionTask(ps=(10, 50), repeats=1)
+        data = task.prepare(graph, np.random.default_rng(0))
+        assert data.train_graph is graph
+        assert task.fit_key == ("full",)
+
+    def test_precision_keys_and_range(self, graph, full_model):
+        task = ReconstructionTask(ps=(10, 50), repeats=1)
+        data = task.prepare(graph, np.random.default_rng(0))
+        metrics = task.evaluate(full_model, data, np.random.default_rng(1))
+        assert set(metrics) == {"precision@10", "precision@50"}
+        assert all(0.0 <= v <= 1.0 for v in metrics.values())
+
+
+class TestNodeClassificationTask:
+    def test_derived_labels(self, graph, full_model):
+        task = NodeClassificationTask(repeats=2)
+        data = task.prepare(graph, np.random.default_rng(0))
+        assert data.payload.labels.size == graph.num_nodes
+        assert data.payload.num_classes == 4
+        metrics = task.evaluate(full_model, data, np.random.default_rng(1))
+        assert set(metrics) == {"accuracy", "macro_f1"}
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+        assert 0.0 <= metrics["macro_f1"] <= 1.0
+
+    def test_explicit_labels(self, graph, full_model):
+        labels = np.arange(graph.num_nodes) % 2
+        task = NodeClassificationTask(num_communities=2, repeats=1, labels=labels)
+        data = task.prepare(graph, np.random.default_rng(0))
+        np.testing.assert_array_equal(data.payload.labels, labels)
+
+    def test_label_size_mismatch(self, graph):
+        task = NodeClassificationTask(labels=np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="labels"):
+            task.prepare(graph, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self, graph, full_model):
+        task = NodeClassificationTask(repeats=2)
+        data = task.prepare(graph, np.random.default_rng(7))
+        a = task.evaluate(full_model, data, np.random.default_rng(3))
+        b = task.evaluate(full_model, data, np.random.default_rng(3))
+        assert a == b
+
+
+class _ConstantModel:
+    """All-equal embeddings: every ranking query ties across candidates."""
+
+    def __init__(self, num_nodes, dim=4):
+        self._emb = np.ones((num_nodes, dim))
+
+    def encode(self, nodes, at=None):
+        return self._emb[np.asarray(nodes, dtype=np.int64)]
+
+
+class TestTemporalRankingTask:
+    def test_payload_shapes_and_candidates(self, graph):
+        task = TemporalRankingTask(num_candidates=4, max_queries=10)
+        data = task.prepare(graph, np.random.default_rng(0))
+        p = data.payload
+        q = p.sources.size
+        assert 0 < q <= 10
+        assert p.candidates.shape == (q, 4)
+        assert p.anchors.shape == (q,)
+        for i in range(q):
+            assert p.positives[i] not in p.candidates[i]
+            assert p.sources[i] not in p.candidates[i]
+            # distractors were never training-time neighbors of the source
+            hits = data.train_graph.has_edges(
+                np.full(4, p.sources[i]), p.candidates[i]
+            )
+            assert not hits.any()
+
+    def test_shares_fit_key_with_link_prediction(self):
+        assert TemporalRankingTask().fit_key == LinkPredictionTask().fit_key
+
+    def test_tie_handling_is_average_rank(self, graph):
+        task = TemporalRankingTask(num_candidates=4, max_queries=8)
+        data = task.prepare(graph, np.random.default_rng(0))
+        metrics = task.evaluate(
+            _ConstantModel(graph.num_nodes), data, np.random.default_rng(1)
+        )
+        # all scores equal -> rank = 1 + C/2 = 3 for C=4
+        assert metrics["mrr"] == pytest.approx(1.0 / 3.0)
+        assert metrics["hits@1"] == 0.0
+        assert metrics["hits@5"] == 1.0
+
+    def test_time_anchored_encode_path(self, graph):
+        """EHNA's live time-anchored aggregation serves the ranking queries."""
+        task = TemporalRankingTask(num_candidates=3, max_queries=5)
+        data = task.prepare(graph, np.random.default_rng(0))
+        model = EHNA(
+            dim=8, epochs=1, batch_size=32, num_walks=2, walk_length=3,
+            num_negatives=2, seed=0,
+        ).fit(data.train_graph)
+        metrics = task.evaluate(model, data, np.random.default_rng(1))
+        assert set(metrics) == {"mrr", "hits@1", "hits@5"}
+        assert 0.0 < metrics["mrr"] <= 1.0

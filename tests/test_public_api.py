@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.eval",
     "repro.experiments",
+    "repro.tasks",
     "repro.utils",
 ]
 

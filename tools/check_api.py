@@ -1,16 +1,24 @@
 #!/usr/bin/env python
-"""Assert every ``EmbeddingMethod`` subclass implements the v2 surface.
+"""Assert the public protocol surfaces are complete.
 
-The v2 protocol (see ``src/repro/base.py`` and docs/architecture.md) is the
-contract the serving layer and the experiment harnesses rely on: every
-method must expose ``fit`` / ``embeddings`` / ``encode`` / ``partial_fit``
-/ ``save`` / ``load``, and must override the four checkpoint/streaming
-hooks the base class leaves abstract (``_config_dict``, ``_state_dict``,
-``_load_state_dict``, ``_apply_partial_fit``).  This gate keeps a new
-baseline from silently shipping with half a protocol.
+Two gates, both wired into ``make test`` via ``make api-check``:
 
-Run directly or via ``make api-check`` (part of the default ``make test``
-path); exits non-zero listing every violation.
+1. **Method protocol (v2)** — every ``EmbeddingMethod`` subclass (see
+   ``src/repro/base.py`` and docs/architecture.md) must expose ``fit`` /
+   ``embeddings`` / ``encode`` / ``partial_fit`` / ``save`` / ``load``, and
+   must override the four checkpoint/streaming hooks the base class leaves
+   abstract (``_config_dict``, ``_state_dict``, ``_load_state_dict``,
+   ``_apply_partial_fit``).  This keeps a new baseline from silently
+   shipping with half a protocol.
+
+2. **Task API (v2)** — every registered task type in
+   ``repro.tasks.TASK_TYPES`` must subclass ``Task``, carry a matching
+   ``name``, override ``prepare``/``evaluate`` and construct with defaults;
+   ``Runner`` and ``ResultTable`` must expose the surface the experiment
+   adapters and the CLI are built on.  This keeps a new scenario from
+   shipping half a task.
+
+Run directly; exits non-zero listing every violation.
 """
 
 from __future__ import annotations
@@ -81,6 +89,66 @@ def check_class(klass) -> list[str]:
     return problems
 
 
+#: Task names that must stay registered (the four scenarios + timing).
+REQUIRED_TASKS = (
+    "link_prediction",
+    "reconstruction",
+    "node_classification",
+    "temporal_ranking",
+    "fit_timing",
+)
+
+#: The Runner/ResultTable surface the adapters and the CLI rely on.
+RUNNER_CALLABLES = ("run",)
+RESULT_TABLE_CALLABLES = (
+    "to_markdown",
+    "to_json",
+    "from_json",
+    "row",
+    "cell",
+    "reduction",
+    "metric_names",
+    "datasets",
+    "methods",
+    "tasks",
+    "num_fits",
+)
+
+
+def check_task_layer() -> list[str]:
+    """Violations of the task-API surface (empty list = clean)."""
+    import repro.tasks as tasks
+    from repro.tasks.base import Task
+
+    problems = []
+    for name in REQUIRED_TASKS:
+        if name not in tasks.TASK_TYPES:
+            problems.append(f"TASK_TYPES: required task {name!r} is not registered")
+    for name, klass in tasks.TASK_TYPES.items():
+        label = klass.__name__
+        if not issubclass(klass, Task):
+            problems.append(f"{label}: not a Task subclass")
+            continue
+        if klass.name != name:
+            problems.append(
+                f"{label}: registered as {name!r} but .name is {klass.name!r}"
+            )
+        for hook in ("prepare", "evaluate"):
+            if getattr(klass, hook, None) is getattr(Task, hook):
+                problems.append(f"{label}: does not override {hook}()")
+        try:
+            klass()
+        except Exception as exc:  # CLI default construction must work
+            problems.append(f"{label}: default construction failed: {exc}")
+    for attr in RUNNER_CALLABLES:
+        if not callable(getattr(tasks.Runner, attr, None)):
+            problems.append(f"Runner: missing callable {attr}()")
+    for attr in RESULT_TABLE_CALLABLES:
+        if not callable(getattr(tasks.ResultTable, attr, None)):
+            problems.append(f"ResultTable: missing callable {attr}()")
+    return problems
+
+
 def main() -> int:
     classes = all_method_classes()
     if len(classes) < 5:
@@ -99,6 +167,16 @@ def main() -> int:
                 print(f"api-check: {line}", file=sys.stderr)
         else:
             print(f"api-check: {klass.__name__} implements the v2 surface")
+    task_problems = check_task_layer()
+    if task_problems:
+        failures += 1
+        for line in task_problems:
+            print(f"api-check: {line}", file=sys.stderr)
+    else:
+        print(
+            "api-check: task layer complete "
+            f"({len(REQUIRED_TASKS)} tasks, Runner, ResultTable)"
+        )
     return 1 if failures else 0
 
 

@@ -26,6 +26,11 @@ MIRRORS = [
         "python",
         "examples/serving_point_in_time.py",
     ),
+    (
+        "## Regenerating the paper's tables",
+        "python",
+        "examples/paper_tables.py",
+    ),
 ]
 
 
