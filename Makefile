@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-train bench-all docs-check quickstart lint api-check tables
+.PHONY: test bench bench-train bench-precision bench-all docs-check quickstart lint api-check tables
 
 ## Tier-1 test suite (the gate every change must keep green).  Runs the
 ## protocol-v2 surface check and the (ruff-when-available) linter first.
@@ -27,6 +27,11 @@ bench:
 ## fused-vs-baseline loss-trajectory match).
 bench-train:
 	$(PY) -m pytest benchmarks/bench_train_step.py -q -s
+
+## Precision-policy benchmark (float32 >=1.5x train-step speedup, ~2x
+## walk-buffer memory reduction, link-prediction AUC parity).
+bench-precision:
+	$(PY) -m pytest benchmarks/bench_precision.py -q -s
 
 ## Every benchmark, including full experiment regenerations (slow).
 bench-all:

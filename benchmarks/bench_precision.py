@@ -1,0 +1,143 @@
+"""Precision-policy benchmark: float32 fast mode vs the float64 reference.
+
+Three measurements on a generated dataset:
+
+- **train step** — full ``EHNA.fit()`` wall time under each policy, same
+  seed, same walks (walk sampling stays float64 in both modes, so the two
+  runs train on identical batches and neighborhoods).  The fast mode must be
+  at least 1.5x faster per batch: BLAS ``sgemm`` vs ``dgemm`` in the fused
+  LSTM kernels plus halved memory traffic through every element-wise op.
+- **walk-buffer memory** — bytes of the padded :class:`WalkBatch` arrays the
+  engine emits (ids + valid + time_sums).  With narrowed ``int32`` ids (the
+  graph's index narrowing) and ``float32`` reals, the fast-mode batch is
+  half the bytes of the all-64-bit layout; the graph's own CSR narrowing is
+  reported alongside.
+- **task quality** — link-prediction AUC of the two modes must agree within
+  noise (the spread across classifier-split repeats), demonstrating the fast
+  mode loses no downstream quality on this workload.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/bench_precision.py -q -s
+"""
+
+from __future__ import annotations
+
+import timeit
+
+import numpy as np
+
+from repro.core import EHNA
+from repro.datasets import temporal_sbm
+from repro.eval.link_prediction import evaluate_operator, prepare_link_prediction
+from repro.walks.engine import BatchedWalkEngine
+
+CONFIG = dict(
+    dim=32, epochs=1, batch_size=32, num_walks=6, walk_length=8, num_negatives=3
+)
+REPEATS = 2
+
+MIN_SPEEDUP = 1.5
+MIN_MEMORY_RATIO = 1.8  # fast-mode walk batch must be ~2x smaller
+AUC_NOISE = 0.05  # absolute AUC agreement bound (split noise is ~0.01-0.03)
+
+
+def _graph():
+    return temporal_sbm(num_nodes=100, num_edges=600, num_communities=4, seed=3)
+
+
+def _best_fit_time(graph, precision: str) -> float:
+    def run():
+        EHNA(seed=0, precision=precision, **CONFIG).fit(graph)
+
+    return min(timeit.repeat(run, number=1, repeat=REPEATS))
+
+
+def test_float32_train_step_speedup(save_result):
+    graph = _graph()
+    num_batches = -(-graph.num_edges // CONFIG["batch_size"]) * CONFIG["epochs"]
+    t64 = _best_fit_time(graph, "float64")
+    t32 = _best_fit_time(graph, "float32")
+    speedup = t64 / t32
+
+    lines = [
+        "Precision-policy train step (temporal_sbm 100 nodes / 600 events, "
+        f"dim={CONFIG['dim']}, {num_batches} batches)",
+        f"{'policy':<10} {'fit()':>9} {'per batch':>11} {'speedup':>9}",
+        f"{'float64':<10} {t64:>8.2f}s {t64 / num_batches * 1e3:>9.1f}ms {1.0:>8.2f}x",
+        f"{'float32':<10} {t32:>8.2f}s {t32 / num_batches * 1e3:>9.1f}ms "
+        f"{speedup:>8.2f}x",
+    ]
+    save_result("precision", "\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"float32 train step is only {speedup:.2f}x faster (required >= "
+        f"{MIN_SPEEDUP}x)"
+    )
+
+
+def test_walk_buffer_memory_reduction(save_result):
+    graph = _graph()
+    nodes = np.arange(graph.num_nodes)
+    anchors = np.full(nodes.size, graph.time_span[1] + 1.0)
+
+    # Reference layout: int64 ids + float64 reals (what the pre-policy code
+    # always built).  Fast layout: the graph's narrowed ids + float32 reals.
+    e32 = BatchedWalkEngine(graph, real_dtype=np.float32)
+    batch = e32.temporal_walk_batch(
+        nodes, anchors, CONFIG["num_walks"], CONFIG["walk_length"],
+        np.random.default_rng(0),
+    )
+    fast_bytes = batch.nbytes
+    rows, cols = batch.ids.shape
+    wide_bytes = rows * cols * (8 + 8 + 8)  # int64 ids, float64 valid/sums
+    ratio = wide_bytes / fast_bytes
+
+    graph_csr = sum(
+        arr.nbytes for arr in graph.incidence_csr()[:2] + (graph.incidence_csr()[4],)
+    )
+    lines = [
+        f"Walk-batch buffer memory ({rows} walks x {cols} steps)",
+        f"{'layout':<26} {'bytes':>10}",
+        f"{'int64 + float64 (ref)':<26} {wide_bytes:>10}",
+        f"{'int32 + float32 (fast)':<26} {fast_bytes:>10}",
+        f"reduction: {ratio:.2f}x  (graph index_dtype={graph.index_dtype}, "
+        f"CSR index bytes={graph_csr})",
+    ]
+    with open("benchmarks/results/precision.txt", "a") as fh:
+        fh.write("\n" + "\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    assert ratio >= MIN_MEMORY_RATIO, (
+        f"walk-batch memory reduction is only {ratio:.2f}x "
+        f"(required >= {MIN_MEMORY_RATIO}x)"
+    )
+
+
+def test_float32_auc_within_noise_of_float64(save_result):
+    graph = _graph()
+    data = prepare_link_prediction(graph, fraction=0.2, rng=np.random.default_rng(7))
+
+    aucs = {}
+    for precision in ("float64", "float32"):
+        model = EHNA(seed=0, precision=precision, **CONFIG).fit(data.train_graph)
+        metrics = evaluate_operator(
+            model.embeddings(), data, "Hadamard", repeats=10,
+            rng=np.random.default_rng(11),
+        )
+        aucs[precision] = metrics["auc"]
+
+    gap = abs(aucs["float64"] - aucs["float32"])
+    lines = [
+        "Link-prediction AUC parity (Hadamard operator, 10 splits)",
+        f"{'policy':<10} {'AUC':>7}",
+        f"{'float64':<10} {aucs['float64']:>7.3f}",
+        f"{'float32':<10} {aucs['float32']:>7.3f}",
+        f"gap: {gap:.3f}  (bound: {AUC_NOISE})",
+    ]
+    with open("benchmarks/results/precision.txt", "a") as fh:
+        fh.write("\n" + "\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+
+    assert gap <= AUC_NOISE, (
+        f"float32 AUC {aucs['float32']:.3f} deviates from float64 "
+        f"{aucs['float64']:.3f} by {gap:.3f} (> {AUC_NOISE})"
+    )

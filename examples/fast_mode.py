@@ -1,0 +1,30 @@
+"""Fast mode: train EHNA under the float32 precision policy.
+
+Run:  python examples/fast_mode.py
+"""
+
+import numpy as np
+
+from repro.core import EHNA
+from repro.datasets import load
+
+graph = load("dblp", scale=0.2, seed=7)
+print(graph)  # repr reports the (int32-narrowed) memory footprint
+
+# precision="float32" switches the whole substrate — embedding table, LSTM
+# kernels, walk batches, optimizer state — to single precision: ~1.7x
+# faster train steps and half the walk-buffer memory, with link-prediction
+# AUC within noise of the float64 reference (make bench-precision).
+model = EHNA(dim=32, epochs=2, precision="float32", seed=0).fit(graph)
+
+emb = model.embeddings()
+print(f"embeddings: {emb.shape} {emb.dtype}")
+
+# Serving works identically; answers come back in the policy dtype.
+mid = sum(graph.time_span) / 2
+print("as-of-midpoint encode:", model.encode(np.arange(3), at=mid).dtype)
+
+# Checkpoints record the policy and refuse cross-precision loads.
+path = model.save("ehna_fast.npz")
+reloaded = EHNA.load(path)  # EHNA.load(path, precision="float64") would raise
+print("reloaded precision:", reloaded.config.precision)

@@ -197,12 +197,23 @@ class EmbeddingMethod(abc.ABC):
     #: Keys the base class reserves in the checkpoint array namespace.
     _GRAPH_KEYS = ("graph/src", "graph/dst", "graph/time", "graph/weight")
 
+    def _precision_name(self) -> str:
+        """The precision-policy name recorded in this method's checkpoints.
+
+        The default reads the conventional ``precision`` attribute the
+        baselines carry ("float64" when absent); EHNA overrides it to report
+        its config's policy.
+        """
+        return getattr(self, "precision", None) or "float64"
+
     def save(self, path) -> Path:
         """Persist config, RNG state, graph and parameters to a ``.npz``.
 
         The archive carries a versioned header (see
-        :mod:`repro.utils.checkpoint`); :meth:`load` refuses mismatched
-        versions with a clear error.  Returns the resolved path.
+        :mod:`repro.utils.checkpoint`) that records the precision policy the
+        model was trained under; :meth:`load` refuses mismatched versions
+        and precision-inconsistent archives with clear errors.  Returns the
+        resolved path.
         """
         arrays, meta = self._state_dict()
         arrays = dict(arrays)
@@ -216,15 +227,30 @@ class EmbeddingMethod(abc.ABC):
             arrays["graph/weight"] = self.graph.weight
             meta["graph_num_nodes"] = self.graph.num_nodes
         return save_checkpoint(
-            path, type(self).__name__, self._config_dict(), arrays, meta
+            path,
+            type(self).__name__,
+            self._config_dict(),
+            arrays,
+            meta,
+            precision=self._precision_name(),
         )
 
     @classmethod
-    def load(cls, path) -> "EmbeddingMethod":
+    def load(cls, path, precision: str | None = None) -> "EmbeddingMethod":
         """Rebuild a trained method from :meth:`save` output.
 
         Callable on the base class (dispatches to the recorded subclass) or
         on a concrete class (which then must match the checkpoint).
+
+        ``precision`` optionally pins the expected policy: loading a
+        ``float32`` archive while requiring ``"float64"`` (or vice versa)
+        raises :class:`CheckpointError` instead of silently casting a
+        trained model across precisions — re-fit under the desired policy,
+        or load under the recorded one and convert the *embeddings*
+        explicitly.  Independently of the request, an archive whose header
+        precision disagrees with its own recorded configuration is refused
+        as corrupt.  Within a matching policy, array loading casts values
+        into the model's buffers (a no-op for same-precision saves).
         """
         ck = load_checkpoint(path)
         klass = _find_method_class(ck.class_name)
@@ -237,7 +263,19 @@ class EmbeddingMethod(abc.ABC):
                 f"checkpoint holds a {ck.class_name}, not a {cls.__name__}; "
                 f"load it via {ck.class_name}.load(...)"
             )
+        if precision is not None and precision != ck.precision:
+            raise CheckpointError(
+                f"checkpoint was saved under precision {ck.precision!r} but "
+                f"{precision!r} was requested; load it under the recorded "
+                f"policy or re-fit the model at the desired precision"
+            )
         model = klass._from_config(ck.config)
+        if model._precision_name() != ck.precision:
+            raise CheckpointError(
+                f"checkpoint header records precision {ck.precision!r} but its "
+                f"configuration rebuilds a {model._precision_name()!r} model — "
+                f"the archive is inconsistent (was it hand-edited?)"
+            )
         meta = dict(ck.meta)
         arrays = dict(ck.arrays)
         if all(k in arrays for k in cls._GRAPH_KEYS):

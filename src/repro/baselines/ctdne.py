@@ -24,6 +24,7 @@ from repro.baselines.skipgram import (
     degree_noise_weights,
 )
 from repro.graph.temporal_graph import TemporalGraph
+from repro.nn.dtypes import get_precision
 from repro.utils.rng import ensure_rng
 from repro.walks.ctdne import CTDNEWalker
 
@@ -43,6 +44,7 @@ class CTDNE(SGNSCheckpointMixin, EmbeddingMethod):
         epochs: int = 2,
         lr: float = 0.025,
         seed=None,
+        precision: str = "float64",
     ):
         self.dim = dim
         self.walks_per_node = walks_per_node
@@ -51,6 +53,7 @@ class CTDNE(SGNSCheckpointMixin, EmbeddingMethod):
         self.num_negatives = num_negatives
         self.epochs = epochs
         self.lr = lr
+        self.precision = get_precision(precision).name
         self._rng = ensure_rng(seed)
         self.graph: TemporalGraph | None = None
         self._model: SkipGramNS | None = None
@@ -63,6 +66,7 @@ class CTDNE(SGNSCheckpointMixin, EmbeddingMethod):
             lr=self.lr,
             noise_weights=degree_noise_weights(graph.degrees()),
             seed=self._rng,
+            precision=self.precision,
         )
 
     def fit(self, graph: TemporalGraph, callbacks=()) -> "CTDNE":
@@ -122,5 +126,6 @@ class CTDNE(SGNSCheckpointMixin, EmbeddingMethod):
             "num_negatives": self.num_negatives,
             "epochs": self.epochs,
             "lr": self.lr,
+            "precision": self.precision,
         }
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro.base import EmbeddingMethod
 from repro.baselines.skipgram import _sigmoid, degree_noise_weights
 from repro.core.trainer import Trainer
+from repro.nn.dtypes import get_precision
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.alias import AliasTable
 from repro.utils.checkpoint import CheckpointError
@@ -48,6 +49,7 @@ class HTNE(EmbeddingMethod):
         init_decay: float = 1.0,
         clip: float = 2.0,
         seed=None,
+        precision: str = "float64",
     ):
         check_positive("dim", dim)
         check_positive("history_length", history_length)
@@ -63,6 +65,8 @@ class HTNE(EmbeddingMethod):
         self.lr = lr
         self.init_decay = init_decay
         self.clip = clip
+        self.precision = get_precision(precision).name
+        self._real = get_precision(precision).real
         self._rng = ensure_rng(seed)
         self.graph: TemporalGraph | None = None
         self._emb: np.ndarray | None = None
@@ -119,7 +123,9 @@ class HTNE(EmbeddingMethod):
         n = graph.num_nodes
         bound = 0.5 / self.dim
         self.graph = graph
-        self._emb = rng.uniform(-bound, bound, size=(n, self.dim))
+        self._emb = rng.uniform(-bound, bound, size=(n, self.dim)).astype(
+            self._real, copy=False
+        )
         self.decay = float(self.init_decay)
         self.loss_history = self._train_events(graph, None, self.epochs, callbacks)
         return self
@@ -156,9 +162,8 @@ class HTNE(EmbeddingMethod):
         extra = graph.num_nodes - self._emb.shape[0]
         if extra > 0:
             bound = 0.5 / self.dim
-            self._emb = np.vstack(
-                [self._emb, self._rng.uniform(-bound, bound, size=(extra, self.dim))]
-            )
+            fresh = self._rng.uniform(-bound, bound, size=(extra, self.dim))
+            self._emb = np.vstack([self._emb, fresh.astype(self._real, copy=False)])
         self.loss_history.extend(
             self._train_events(
                 graph, fresh_edge_ids, epochs if epochs is not None else 1
@@ -243,6 +248,7 @@ class HTNE(EmbeddingMethod):
             "lr": self.lr,
             "init_decay": self.init_decay,
             "clip": self.clip,
+            "precision": self.precision,
         }
 
     def _state_dict(self) -> tuple[dict, dict]:
@@ -256,7 +262,8 @@ class HTNE(EmbeddingMethod):
     def _load_state_dict(self, arrays: dict, meta: dict) -> None:
         if "emb" not in arrays:
             raise CheckpointError("checkpoint is missing array 'emb'")
-        emb = np.asarray(arrays["emb"], dtype=np.float64)
+        # Loading casts into the policy dtype (no-op for same-precision saves).
+        emb = np.asarray(arrays["emb"], dtype=self._real)
         if emb.ndim != 2 or emb.shape[1] != self.dim:
             raise CheckpointError(
                 f"checkpoint array 'emb' has shape {emb.shape}, expected (*, {self.dim})"

@@ -29,6 +29,7 @@ import numpy as np
 from repro.base import EmbeddingMethod
 from repro.baselines.skipgram import _sigmoid, degree_noise_weights
 from repro.core.trainer import Trainer
+from repro.nn.dtypes import get_precision
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.alias import AliasTable
 from repro.utils.checkpoint import CheckpointError
@@ -49,12 +50,15 @@ class LINE(EmbeddingMethod):
         batch_size: int = 512,
         lr: float = 0.025,
         seed=None,
+        precision: str = "float64",
     ):
         check_positive("dim", dim)
         if dim % 2 != 0:
             raise ValueError("LINE needs an even dim (two concatenated halves)")
         check_positive("samples_per_edge", samples_per_edge)
         check_positive("num_negatives", num_negatives)
+        self.precision = get_precision(precision).name
+        self._real = get_precision(precision).real
         self.dim = dim
         self.samples_per_edge = samples_per_edge
         self.num_negatives = num_negatives
@@ -71,9 +75,10 @@ class LINE(EmbeddingMethod):
     def _init_rows(self, n: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         half = self.dim // 2
         bound = 0.5 / half
-        first = self._rng.uniform(-bound, bound, size=(n, half))
-        second = self._rng.uniform(-bound, bound, size=(n, half))
-        context = np.zeros((n, half))
+        real = self._real
+        first = self._rng.uniform(-bound, bound, size=(n, half)).astype(real, copy=False)
+        second = self._rng.uniform(-bound, bound, size=(n, half)).astype(real, copy=False)
+        context = np.zeros((n, half), dtype=real)
         return first, second, context
 
     def fit(self, graph: TemporalGraph, callbacks=()) -> "LINE":
@@ -191,6 +196,7 @@ class LINE(EmbeddingMethod):
             "num_negatives": self.num_negatives,
             "batch_size": self.batch_size,
             "lr": self.lr,
+            "precision": self.precision,
         }
 
     def _state_dict(self) -> tuple[dict, dict]:
@@ -213,9 +219,10 @@ class LINE(EmbeddingMethod):
                     f"checkpoint array {key!r} has shape {arrays[key].shape}, "
                     f"expected (*, {half})"
                 )
-        self._first = np.asarray(arrays["first"], dtype=np.float64)
-        self._second = np.asarray(arrays["second"], dtype=np.float64)
-        self._context = np.asarray(arrays["context"], dtype=np.float64)
+        # Loading casts into the policy dtype (no-op for same-precision saves).
+        self._first = np.asarray(arrays["first"], dtype=self._real)
+        self._second = np.asarray(arrays["second"], dtype=self._real)
+        self._context = np.asarray(arrays["context"], dtype=self._real)
         self._emb = np.concatenate([self._first, self._second], axis=1)
         self.loss_history = [float(x) for x in meta.get("loss_history", [])]
 

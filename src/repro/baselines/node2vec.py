@@ -20,6 +20,7 @@ from repro.baselines.skipgram import (
     degree_noise_weights,
 )
 from repro.graph.temporal_graph import TemporalGraph
+from repro.nn.dtypes import get_precision
 from repro.utils.rng import ensure_rng
 from repro.walks.engine import BatchedWalkEngine
 from repro.walks.static import Node2VecWalker, UniformWalker
@@ -46,6 +47,7 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
         epochs: int = 2,
         lr: float = 0.025,
         seed=None,
+        precision: str = "float64",
     ):
         self.dim = dim
         self.num_walks = num_walks
@@ -56,6 +58,7 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
         self.num_negatives = num_negatives
         self.epochs = epochs
         self.lr = lr
+        self.precision = get_precision(precision).name
         self._rng = ensure_rng(seed)
         self.graph: TemporalGraph | None = None
         self._model: SkipGramNS | None = None
@@ -72,6 +75,7 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
             lr=self.lr,
             noise_weights=degree_noise_weights(graph.degrees()),
             seed=self._rng,
+            precision=self.precision,
         )
 
     def fit(self, graph: TemporalGraph, callbacks=()) -> "Node2Vec":
@@ -132,6 +136,7 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
             "num_negatives": self.num_negatives,
             "epochs": self.epochs,
             "lr": self.lr,
+            "precision": self.precision,
         }
 
 class DeepWalk(Node2Vec):

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.trainer import Trainer
+from repro.nn.dtypes import get_precision
 from repro.utils.alias import AliasTable
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_non_negative, check_positive
@@ -67,6 +68,7 @@ class SkipGramNS:
         noise_weights=None,
         clip: float = 5.0,
         seed=None,
+        precision: str = "float64",
     ):
         check_positive("num_nodes", num_nodes)
         check_positive("dim", dim)
@@ -79,9 +81,16 @@ class SkipGramNS:
         self.num_negatives = num_negatives
         self.lr = lr
         self.clip = clip
+        # Weight tables follow the shared precision policy; the RNG stream
+        # is consumed in float64 and narrowed afterwards, so a float32 model
+        # initializes from bitwise the same draws as its float64 twin.
+        self.precision = get_precision(precision).name
+        self._real = get_precision(precision).real
         bound = 0.5 / dim
-        self.w_in = rng.uniform(-bound, bound, size=(num_nodes, dim))
-        self.w_out = np.zeros((num_nodes, dim))
+        self.w_in = rng.uniform(-bound, bound, size=(num_nodes, dim)).astype(
+            self._real, copy=False
+        )
+        self.w_out = np.zeros((num_nodes, dim), dtype=self._real)
         if noise_weights is None:
             noise_weights = np.ones(num_nodes)
         else:
@@ -157,10 +166,11 @@ class SkipGramNS:
         extra = num_nodes - self.num_nodes
         if extra:
             bound = 0.5 / self.dim
-            self.w_in = np.vstack(
-                [self.w_in, self._rng.uniform(-bound, bound, size=(extra, self.dim))]
+            fresh = self._rng.uniform(-bound, bound, size=(extra, self.dim))
+            self.w_in = np.vstack([self.w_in, fresh.astype(self._real, copy=False)])
+            self.w_out = np.vstack(
+                [self.w_out, np.zeros((extra, self.dim), dtype=self._real)]
             )
-            self.w_out = np.vstack([self.w_out, np.zeros((extra, self.dim))])
             self.num_nodes = num_nodes
         if noise_weights is not None:
             noise_weights = np.asarray(noise_weights, dtype=np.float64)
@@ -251,5 +261,7 @@ class SGNSCheckpointMixin:
                     f"checkpoint array {key!r} has shape {arrays[key].shape}, "
                     f"expected {getattr(self._model, key).shape}"
                 )
-            setattr(self._model, key, np.asarray(arrays[key], dtype=np.float64))
+            # Loading casts into the model's policy dtype (a no-op when the
+            # archive was saved under the same precision).
+            setattr(self._model, key, np.asarray(arrays[key], dtype=self._model._real))
         self.loss_history = [float(x) for x in meta.get("loss_history", [])]

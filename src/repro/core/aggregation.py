@@ -58,6 +58,7 @@ def batch_walks(
     scale,
     chronological: bool = True,
     merge: bool = False,
+    real_dtype=np.float64,
 ) -> WalkBatch:
     """Pad a batch of per-target walk lists into :class:`WalkBatch` arrays.
 
@@ -66,6 +67,12 @@ def batch_walks(
     concatenated into a single sequence (per-walk time-sums are computed
     *before* merging, so edges never leak across walk boundaries) — the
     single-level layout used by EHNA-SL.
+
+    ``real_dtype`` is the precision policy's floating dtype for the emitted
+    ``valid``/``time_sums`` arrays; time-sum accumulation itself always runs
+    in ``float64`` (matching the engine fast path) and only the final arrays
+    narrow.  This reference path keeps ``int64`` ids — it exists for
+    correctness comparisons, not memory.
     """
     if not walk_sets:
         raise ValueError("walk_sets must not be empty")
@@ -92,8 +99,8 @@ def batch_walks(
     n_rows = len(rows)
     max_len = max(len(nodes) for nodes, _ in rows)
     ids = np.zeros((n_rows, max_len), dtype=np.int64)
-    valid = np.zeros((n_rows, max_len), dtype=np.float64)
-    sums_arr = np.zeros((n_rows, max_len), dtype=np.float64)
+    valid = np.zeros((n_rows, max_len), dtype=real_dtype)
+    sums_arr = np.zeros((n_rows, max_len), dtype=real_dtype)
     for i, (nodes, sums) in enumerate(rows):
         ln = len(nodes)
         ids[i, :ln] = nodes
@@ -123,18 +130,20 @@ class TwoLevelAggregator(Module):
         two_level: bool = True,
         rng=None,
         fused: bool = True,
+        dtype=np.float64,
     ):
         super().__init__()
         rng = ensure_rng(rng)
         self.dim = dim
         self.two_level = two_level
         self.fused = bool(fused)
-        self.node_lstm = StackedLSTM(dim, dim, lstm_layers, rng)
-        self.node_bn = BatchNorm1d(dim)
+        self.dtype = np.dtype(dtype)
+        self.node_lstm = StackedLSTM(dim, dim, lstm_layers, rng, dtype=dtype)
+        self.node_bn = BatchNorm1d(dim, dtype=dtype)
         if two_level:
-            self.walk_lstm = StackedLSTM(dim, dim, lstm_layers, rng)
-            self.walk_bn = BatchNorm1d(dim)
-        self.readout = Linear(2 * dim, dim, bias=False, rng=rng)
+            self.walk_lstm = StackedLSTM(dim, dim, lstm_layers, rng, dtype=dtype)
+            self.walk_bn = BatchNorm1d(dim, dtype=dtype)
+        self.readout = Linear(2 * dim, dim, bias=False, rng=rng, dtype=dtype)
         # Identity-preserving initialization of W = [W_H | W_e] (line 7):
         # start with W_e = I and W_H small, so z ≈ e_x + ε·H at step 0.  The
         # margin loss then shapes the embedding table from the first batch,

@@ -15,6 +15,13 @@ with autograd tensors and gradients flow through them.
 Timestamps enter on the graph's [0, 1] normalized scale (see DESIGN.md);
 time-sums are clamped below by ``eps`` to keep ``1/Σt`` finite for the oldest
 edges.
+
+Both mechanisms are precision-transparent: every array they build derives
+from the incoming ``dist``/``time_sums``/``valid`` arrays with Python-scalar
+coefficients, so the policy dtype the walk batch carries (``float64``
+reference or ``float32`` fast mode) flows through the softmaxes unchanged —
+``_MASK_LOGIT`` (-1e9) is representable in single precision and the padded
+positions' ``exp`` underflows to exactly 0 either way.
 """
 
 from __future__ import annotations
@@ -83,5 +90,12 @@ def walk_attention(dist: Tensor, factors: np.ndarray) -> Tensor:
 
 
 def uniform_attention(valid: np.ndarray) -> np.ndarray:
-    """Attention-free weights: 1 on valid positions (EHNA-NA, fallbacks)."""
+    """Attention-free weights: 1 on valid positions (EHNA-NA, fallbacks).
+
+    Dtype-preserving for floating masks, so a ``float32`` walk batch keeps
+    its policy dtype; non-float masks coerce to the ``float64`` default.
+    """
+    valid = np.asarray(valid)
+    if valid.dtype.kind == "f":
+        return valid.copy()
     return valid.astype(np.float64)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.nn.dtypes import get_precision
 from repro.utils.validation import check_non_negative, check_positive
 
 
@@ -87,6 +88,13 @@ class EHNAConfig:
     # at the cost of those occurrences sharing one neighborhood sample
     # (slightly lower gradient variance reduction); off by default.
     dedup_aggregations: bool = False
+    # Precision policy of the compute substrate (repro.nn.dtypes):
+    # "float64" is the bitwise-stable reference mode; "float32" is the fast
+    # mode — single-precision parameters/activations/walk batches validated
+    # by loosened-tolerance gradchecks and loss/AUC agreement (see
+    # docs/architecture.md, "The precision policy").  Anchor timestamps and
+    # walk sampling stay float64 in both modes: time is data, not compute.
+    precision: str = "float64"
 
     def validate(self) -> "EHNAConfig":
         """Raise ``ValueError`` on inconsistent settings; return self."""
@@ -114,6 +122,8 @@ class EHNAConfig:
             raise ValueError(
                 f"objective must be 'euclidean' or 'dot', got {self.objective!r}"
             )
+        # Raises UnknownPrecisionError listing the valid policy names.
+        get_precision(self.precision)
         if not self.two_level and self.lstm_layers > 1:
             # EHNA-SL pairs a single-layer LSTM with single-level aggregation.
             raise ValueError("two_level=False requires lstm_layers=1 (EHNA-SL)")

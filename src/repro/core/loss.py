@@ -9,6 +9,12 @@ Note that the aggregated embeddings are L2-normalized, so ``||z_a - z_b||²``
 is at most 4; with the paper's ``m = 5`` the hinge never saturates and the
 objective behaves like a pure distance-difference loss — this matches
 Fig. 5a, where performance stops improving once ``m`` reaches 5.
+
+The loss is precision-transparent: ``margin`` and the ``1/B`` normalizer are
+Python scalars (weak under NumPy promotion), so the computation runs — and
+the gradients return — entirely in the policy dtype of the incoming
+aggregated embeddings.  The normalized distances are O(1), far from
+``float32``'s limits, which is why the fast mode needs no loss-scaling.
 """
 
 from __future__ import annotations

@@ -39,6 +39,7 @@ from repro.core.loss import margin_hinge_loss
 from repro.core.negative_sampling import NegativeSampler
 from repro.core.trainer import Trainer, with_verbose
 from repro.graph.temporal_graph import TemporalGraph
+from repro.nn.dtypes import get_precision
 from repro.nn.layers import BatchNorm1d, Embedding
 from repro.nn.optim import Adam
 from repro.nn.tensor import concat
@@ -73,6 +74,10 @@ class EHNA(EmbeddingMethod):
         if overrides:
             base = dataclasses.replace(base, **overrides)
         self.config = base.validate()
+        # The precision policy threads one dtype through the embedding table,
+        # both LSTM stacks, the walk batches and the train step; anchor
+        # timestamps stay float64 (time is data, not compute).
+        self._precision = get_precision(self.config.precision)
         self._rng = ensure_rng(seed)
         self.callbacks = tuple(callbacks)
         self.graph: TemporalGraph | None = None
@@ -97,6 +102,7 @@ class EHNA(EmbeddingMethod):
             decay=cfg.decay,
             cache_size=cfg.walk_cache_size,
             time_buckets=cfg.walk_time_buckets,
+            real_dtype=self._precision.real,
         )
         self.temporal_walker = (
             TemporalWalker(graph, p=cfg.p, q=cfg.q, decay=cfg.decay, engine=self.engine)
@@ -109,9 +115,16 @@ class EHNA(EmbeddingMethod):
         cfg = self.config
         rng = self._rng if rng is None else rng
         self.graph = graph
-        self.embedding = Embedding(graph.num_nodes, cfg.dim, rng)
+        self.embedding = Embedding(
+            graph.num_nodes, cfg.dim, rng, dtype=self._precision.real
+        )
         self.aggregator = TwoLevelAggregator(
-            cfg.dim, cfg.lstm_layers, cfg.two_level, rng, fused=cfg.fused_kernels
+            cfg.dim,
+            cfg.lstm_layers,
+            cfg.two_level,
+            rng,
+            fused=cfg.fused_kernels,
+            dtype=self._precision.real,
         )
         self._build_sampling(graph)
 
@@ -162,6 +175,7 @@ class EHNA(EmbeddingMethod):
             self.graph.scale_time,
             chronological=cfg.chronological,
             merge=not cfg.two_level,
+            real_dtype=self._precision.real,
         )
         return self._aggregate_batch(targets, batch, use_attention)
 
@@ -463,7 +477,7 @@ class EHNA(EmbeddingMethod):
             bound = 1.0 / np.sqrt(cfg.dim)
             new_rows = self._rng.uniform(-bound, bound, size=(extra, cfg.dim))
             self.embedding.weight.data = np.concatenate(
-                [self.embedding.weight.data, new_rows]
+                [self.embedding.weight.data, new_rows.astype(self._precision.real)]
             )
             self.embedding.weight.grad = None
             self.embedding.num_embeddings = graph.num_nodes
@@ -497,7 +511,7 @@ class EHNA(EmbeddingMethod):
         cfg = self.config
         graph = self.graph
         self.aggregator.eval()
-        out = np.zeros((graph.num_nodes, cfg.dim))
+        out = np.zeros((graph.num_nodes, cfg.dim), dtype=self._precision.real)
         nodes = np.arange(graph.num_nodes)
         all_anchors = graph.last_event_times(nodes)  # NaN marks isolated
         for lo in range(0, nodes.size, cfg.batch_size):
@@ -537,7 +551,7 @@ class EHNA(EmbeddingMethod):
             anchors if at is None else self.graph.last_event_times(nodes)
         )
 
-        out = np.empty((nodes.size, cfg.dim))
+        out = np.empty((nodes.size, cfg.dim), dtype=self._precision.real)
         # NaN == NaN (both "no anchor") and exact float equality: the final
         # table serves the default anchor bitwise; the rest aggregate live.
         fast = (anchors == table_anchor) | (
@@ -567,6 +581,9 @@ class EHNA(EmbeddingMethod):
     # ------------------------------------------------------------------
     def _config_dict(self) -> dict:
         return dataclasses.asdict(self.config)
+
+    def _precision_name(self) -> str:
+        return self._precision.name
 
     @classmethod
     def _from_config(cls, config: dict) -> "EHNA":
@@ -608,7 +625,9 @@ class EHNA(EmbeddingMethod):
         for j, bn in enumerate(self._batch_norms()):
             _assign(bn.running_mean, arrays, f"bn/{j}/mean")
             _assign(bn.running_var, arrays, f"bn/{j}/var")
-        self._final = np.asarray(arrays["final"])
+        # Casting here (not just _assign's in-place copy) covers the final
+        # table, which is stored directly rather than copied into a buffer.
+        self._final = np.asarray(arrays["final"], dtype=self._precision.real)
         self.loss_history = [float(x) for x in meta.get("loss_history", [])]
         self._infer_seed = int(meta["infer_seed"])
 

@@ -14,6 +14,8 @@ from repro.datasets.registry import (
     UnknownDatasetError,
     available,
     load,
+    load_cache_clear,
+    load_cache_info,
 )
 
 __all__ = [
@@ -28,4 +30,6 @@ __all__ = [
     "UnknownDatasetError",
     "available",
     "load",
+    "load_cache_info",
+    "load_cache_clear",
 ]

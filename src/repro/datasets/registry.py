@@ -7,9 +7,22 @@ table/figure harness iterates ``PAPER_DATASETS`` just as Section V iterates
 Digg / Yelp / Tmall / DBLP, and the task Runner resolves grid cells through
 ``load`` by name.  ``load(name, labels=True)`` additionally returns community
 labels for the node-classification task.
+
+Generation is memoized: repeated ``load`` calls with the same
+``(name, scale, seed, labels)`` — the signature every Runner/benchmark grid
+cell resolves through — return the cached graph instead of regenerating it.
+Only *deterministic* requests cache (an integer seed); ``seed=None`` or a
+live ``Generator`` ask for fresh randomness and always regenerate.  Cached
+objects are shared: treat them as immutable (every ``TemporalGraph``
+operation already returns new graphs).  ``load_cache_info`` /
+``load_cache_clear`` expose and reset the LRU.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
 
 from repro.datasets.generators import (
     community_labels,
@@ -42,6 +55,32 @@ def available() -> tuple[str, ...]:
     return PAPER_DATASETS
 
 
+#: Capacity of the generation cache, in (name, scale, seed, labels) entries —
+#: small on purpose: a Runner grid touches a handful of datasets, and one
+#: laptop-scale graph is a few hundred KB.
+LOAD_CACHE_SIZE = 8
+
+_load_cache: OrderedDict = OrderedDict()
+_load_stats = {"hits": 0, "misses": 0}
+
+
+def load_cache_info() -> dict:
+    """Cache counters: ``{"hits", "misses", "size", "maxsize"}``."""
+    return {
+        "hits": _load_stats["hits"],
+        "misses": _load_stats["misses"],
+        "size": len(_load_cache),
+        "maxsize": LOAD_CACHE_SIZE,
+    }
+
+
+def load_cache_clear() -> None:
+    """Drop every cached dataset and reset the counters."""
+    _load_cache.clear()
+    _load_stats["hits"] = 0
+    _load_stats["misses"] = 0
+
+
 def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
     """Generate the named dataset at ``scale`` times its default size.
 
@@ -67,6 +106,17 @@ def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
     """
     check_positive("scale", scale)
 
+    # Deterministic requests (integer seeds) memoize on the full signature,
+    # so repeated Runner/benchmark grid cells stop re-generating graphs.
+    cache_key = None
+    if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+        cache_key = (str(name).lower(), float(scale), int(seed), bool(labels))
+        hit = _load_cache.get(cache_key)
+        if hit is not None:
+            _load_cache.move_to_end(cache_key)
+            _load_stats["hits"] += 1
+            return hit
+
     def s(value: int, minimum: int = 8) -> int:
         return max(int(round(value * scale)), minimum)
 
@@ -87,6 +137,12 @@ def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
         raise UnknownDatasetError(
             f"unknown dataset {name!r}; expected one of {list(available())}"
         )
-    if not labels:
-        return graph
-    return graph, community_labels(graph, seed=seed)
+    result = graph if not labels else (graph, community_labels(graph, seed=seed))
+    if cache_key is not None:
+        # Count the miss only for successful generations, so a bad dataset
+        # name never skews the hit-rate diagnostics.
+        _load_stats["misses"] += 1
+        _load_cache[cache_key] = result  # new keys append in LRU order
+        while len(_load_cache) > LOAD_CACHE_SIZE:
+            _load_cache.popitem(last=False)
+    return result

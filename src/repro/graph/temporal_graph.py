@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn.dtypes import index_dtype_for
 from repro.utils.validation import check_fraction
 
 
@@ -162,29 +163,42 @@ class TemporalGraph:
         stable sort by owning node preserves the global time order inside
         every node's slice, so the whole index is built with vectorized
         NumPy ops — no per-edge Python loop.
+
+        Index arrays narrow to ``int32`` whenever every value they hold
+        (incidence offsets up to ``2 * num_edges``, node ids up to
+        ``num_nodes``, edge ids up to ``num_edges``) fits — the overflow
+        guard is :func:`repro.nn.dtypes.index_dtype_for`, the precision
+        policy's shared index-width rule — halving the index memory of the
+        CSR the batched walk engine gathers from.  Narrowing is exact: an
+        ``int32`` id is the same id, so walks, queries and every float
+        result are unchanged; graphs beyond ~10⁹ incidence slots keep
+        ``int64``.
         """
         n, m = self._n, self._src.size
-        owner = np.empty(2 * m, dtype=np.int64)
-        nbr = np.empty(2 * m, dtype=np.int64)
+        idx = index_dtype_for(max(2 * m, n + 1))
+        self._index_dtype = idx
+        owner = np.empty(2 * m, dtype=idx)
+        nbr = np.empty(2 * m, dtype=idx)
         owner[0::2] = self._src
         owner[1::2] = self._dst
         nbr[0::2] = self._dst
         nbr[1::2] = self._src
-        eid = np.repeat(np.arange(m, dtype=np.int64), 2)
+        eid = np.repeat(np.arange(m, dtype=idx), 2)
         order = np.argsort(owner, kind="stable")
         counts = np.bincount(owner, minlength=n)
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        self._inc_offsets = offsets
+        self._inc_offsets = offsets.astype(idx, copy=False)
         self._inc_nbr = nbr[order]
         self._inc_eid = eid[order]
         self._inc_time = self._time[self._inc_eid]
-        self._degree = counts
+        self._degree = counts.astype(idx, copy=False)
 
     def _build_distinct(self) -> None:
         """Distinct-neighbor CSR: sorted unique neighbors with multiplicities."""
         n = self._n
-        owner = np.repeat(np.arange(n, dtype=np.int64), self._degree)
+        idx = self._index_dtype
+        owner = np.repeat(np.arange(n, dtype=idx), self._degree)
         order = np.lexsort((self._inc_nbr, owner))
         s_owner = owner[order]
         s_nbr = self._inc_nbr[order]
@@ -197,7 +211,7 @@ class TemporalGraph:
         dcounts = np.bincount(s_owner[starts], minlength=n)
         dindptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(dcounts, out=dindptr[1:])
-        self._distinct = (dindptr, dnbr, mult)
+        self._distinct = (dindptr.astype(idx, copy=False), dnbr, mult)
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -236,6 +250,45 @@ class TemporalGraph:
     def time_span(self) -> tuple[float, float]:
         """(earliest, latest) timestamp."""
         return float(self._time[0]), float(self._time[-1])
+
+    @property
+    def index_dtype(self) -> np.dtype:
+        """Dtype of the derived index structures (CSR offsets, ids).
+
+        ``int32`` when the id/offset space fits (see :meth:`_build_incidence`
+        for the overflow guard), ``int64`` otherwise.  The walk engine sizes
+        its node-id buffers with this, so narrowing propagates through walk
+        batches automatically.
+        """
+        return self._index_dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the graph's arrays, in bytes.
+
+        Counts the edge table (``src``/``dst``/``time``/``weight``), the
+        incidence CSR, and every lazily built structure that has actually
+        been materialized (distinct CSR, pair index, scaled times, incidence
+        weights).  This is what the ``int32`` index narrowing shrinks — the
+        figure is surfaced in ``repr`` so the effect is observable.
+        """
+        total = (
+            self._src.nbytes
+            + self._dst.nbytes
+            + self._time.nbytes
+            + self._weight.nbytes
+            + self._inc_offsets.nbytes
+            + self._inc_nbr.nbytes
+            + self._inc_eid.nbytes
+            + self._inc_time.nbytes
+            + self._degree.nbytes
+        )
+        if self._distinct is not None:
+            total += sum(arr.nbytes for arr in self._distinct)
+        for lazy in (self._pair_keys, self._times01, self._inc_weight):
+            if lazy is not None:
+                total += lazy.nbytes
+        return total
 
     def degrees(self) -> np.ndarray:
         """Temporal degree of every node (# incident edge events)."""
@@ -476,5 +529,15 @@ class TemporalGraph:
         lo, hi = self.time_span
         return (
             f"TemporalGraph(nodes={self._n}, events={self.num_edges}, "
-            f"time=[{lo:g}, {hi:g}])"
+            f"time=[{lo:g}, {hi:g}], mem={_format_bytes(self.nbytes)})"
         )
+
+
+def _format_bytes(num_bytes: int) -> str:
+    """Human-readable byte count (``1.5KB``, ``3.2MB``, ...)."""
+    size = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB"):
+        if size < 1024.0 or unit == "GB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024.0
+    return f"{size:.1f}GB"

@@ -4,6 +4,14 @@ Replaces the PyTorch stack the paper's implementation would use; see
 DESIGN.md's substitution table.
 """
 
+from repro.nn.dtypes import (
+    FLOAT32,
+    FLOAT64,
+    PRECISIONS,
+    Precision,
+    UnknownPrecisionError,
+    get_precision,
+)
 from repro.nn.gradcheck import check_gradients, numerical_gradient
 from repro.nn.layers import (
     BatchNorm1d,
@@ -26,6 +34,12 @@ from repro.nn.tensor import (
 )
 
 __all__ = [
+    "Precision",
+    "UnknownPrecisionError",
+    "FLOAT64",
+    "FLOAT32",
+    "PRECISIONS",
+    "get_precision",
     "Tensor",
     "apply_op",
     "concat",

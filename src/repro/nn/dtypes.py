@@ -1,0 +1,146 @@
+"""The precision policy of the compute substrate.
+
+Every layer that allocates floating-point state — the autograd engine, the
+parameter initializers, the fused LSTM kernel, the walk-batch padding, the
+one-pass train step and the baselines' weight tables — used to hard-code
+``float64``.  A :class:`Precision` bundles the choices those layers need into
+one policy object:
+
+- ``real``: the dtype of parameters, activations and gradients;
+- gradcheck/test tolerances matched to that dtype (finite differences in
+  single precision are far noisier than in double);
+- ``loss_rtol``: the documented bound within which a fast-mode loss
+  trajectory must track the reference-mode one;
+- an index-width rule (:meth:`index_dtype`) shared with the graph/walk layer.
+
+Two policies are registered:
+
+``float64`` (the default, :data:`FLOAT64`)
+    The *reference* mode.  Bitwise-identical to the historical behavior —
+    every legacy-equivalence, fused-kernel and walk-engine bitwise suite runs
+    under it unmodified.
+
+``float32`` (:data:`FLOAT32`)
+    The *fast* mode: single-precision reals halve memory traffic through the
+    exact hot paths the fused pipeline optimized (BLAS ``sgemm`` vs ``dgemm``
+    in the LSTM kernels, element-wise ops everywhere) and pair naturally with
+    ``int32``-narrowed graph/walk index arrays.  Validated by
+    loosened-tolerance gradchecks, loss-trajectory agreement within
+    ``loss_rtol`` and task-level AUC parity (``benchmarks/bench_precision.py``).
+
+Index narrowing is *orthogonal* to the real dtype: ``int32`` indices are
+exact, so :class:`~repro.graph.temporal_graph.TemporalGraph` narrows its CSR
+arrays whenever the id space fits — under *either* policy.  The rule lives
+here once (:func:`index_dtype_for`); the graph layer and the policy's
+:meth:`Precision.index_dtype` both delegate to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Largest value an ``int32`` index array may need to hold, exclusive.
+_INT32_LIMIT = 2**31
+
+
+def index_dtype_for(max_value: int) -> np.dtype:
+    """The index dtype for arrays whose entries stay below ``max_value``.
+
+    ``int32`` when every index fits (the explicit overflow guard — the
+    largest incidence CSR needs ``2 * num_edges`` slots, so the graph layer
+    passes ``max(2 * num_edges, num_nodes + 1)``), ``int64`` otherwise.
+    Exact either way: narrowing never loses information, only memory
+    traffic, which is why it applies regardless of the float policy.
+    """
+    if int(max_value) < _INT32_LIMIT:
+        return np.dtype(np.int32)
+    return np.dtype(np.int64)
+
+
+class UnknownPrecisionError(KeyError, ValueError):
+    """An unregistered precision name was requested.
+
+    Subclasses both ``KeyError`` (the policy table is a lookup) and
+    ``ValueError`` (the name is an invalid argument), mirroring
+    :class:`repro.datasets.UnknownDatasetError`.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0]
+
+
+@dataclass(frozen=True)
+class Precision:
+    """One precision policy; see the module docstring for the two instances."""
+
+    #: Registry name (``"float64"`` / ``"float32"``) — what configs store.
+    name: str
+    #: Dtype of parameters, activations and gradients.
+    real: np.dtype
+    #: Finite-difference step for gradient checks.
+    gradcheck_eps: float
+    #: Absolute tolerance for gradient checks.
+    gradcheck_atol: float
+    #: Relative tolerance for gradient checks.
+    gradcheck_rtol: float
+    #: Documented relative bound for fast-vs-reference loss trajectories.
+    loss_rtol: float
+
+    def index_dtype(self, max_value: int) -> np.dtype:
+        """The shared index-width rule — see :func:`index_dtype_for`."""
+        return index_dtype_for(max_value)
+
+
+#: Reference mode — double precision, tight tolerances, bitwise-stable.
+FLOAT64 = Precision(
+    name="float64",
+    real=np.dtype(np.float64),
+    gradcheck_eps=1e-6,
+    gradcheck_atol=1e-5,
+    gradcheck_rtol=1e-4,
+    loss_rtol=1e-6,
+)
+
+#: Fast mode — single precision reals, loosened tolerances.
+FLOAT32 = Precision(
+    name="float32",
+    real=np.dtype(np.float32),
+    gradcheck_eps=1e-2,
+    gradcheck_atol=5e-2,
+    gradcheck_rtol=5e-2,
+    loss_rtol=5e-2,
+)
+
+#: Registered policies by name, in preference order.
+PRECISIONS: dict[str, Precision] = {p.name: p for p in (FLOAT64, FLOAT32)}
+
+
+def get_precision(name) -> Precision:
+    """Resolve a policy by name (or pass a :class:`Precision` through).
+
+    Raises
+    ------
+    UnknownPrecisionError
+        If ``name`` is not registered; the message lists valid values.
+    """
+    if isinstance(name, Precision):
+        return name
+    try:
+        return PRECISIONS[name]
+    except (KeyError, TypeError):
+        raise UnknownPrecisionError(
+            f"unknown precision {name!r}; expected one of {list(PRECISIONS)}"
+        ) from None
+
+
+__all__ = [
+    "Precision",
+    "UnknownPrecisionError",
+    "FLOAT64",
+    "FLOAT32",
+    "PRECISIONS",
+    "get_precision",
+    "index_dtype_for",
+]

@@ -27,11 +27,30 @@ def numerical_gradient(fn, tensor: Tensor, eps: float = 1e-6) -> np.ndarray:
     return grad
 
 
-def check_gradients(fn, tensors: list[Tensor], eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> float:
+def check_gradients(
+    fn,
+    tensors: list[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    precision=None,
+) -> float:
     """Compare autograd gradients of scalar ``fn()`` against finite differences.
+
+    ``precision`` (a :class:`repro.nn.dtypes.Precision` or policy name)
+    overrides ``eps``/``atol``/``rtol`` with the policy's tolerances —
+    central differences in ``float32`` carry ~1e-3 relative noise, so the
+    fast mode's checks must run looser than the ``float64`` defaults.
 
     Returns the worst absolute error; raises ``AssertionError`` on mismatch.
     """
+    if precision is not None:
+        from repro.nn.dtypes import get_precision
+
+        policy = get_precision(precision)
+        eps = policy.gradcheck_eps
+        atol = policy.gradcheck_atol
+        rtol = policy.gradcheck_rtol
     for t in tensors:
         t.zero_grad()
     out = fn()

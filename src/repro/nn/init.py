@@ -1,7 +1,11 @@
 """Parameter initializers.
 
 All initializers take an explicit RNG so model construction is reproducible
-from the harness seed.
+from the harness seed, and a ``dtype`` chosen by the precision policy
+(:mod:`repro.nn.dtypes`).  Random draws always consume the RNG stream in
+``float64`` and are cast afterwards, so a ``float32`` model is initialized
+from bitwise the same stream as its ``float64`` twin — only the storage
+narrows.
 """
 
 from __future__ import annotations
@@ -12,25 +16,27 @@ from repro.nn.tensor import Tensor
 from repro.utils.rng import ensure_rng
 
 
-def xavier_uniform(shape: tuple[int, ...], rng=None, gain: float = 1.0) -> Tensor:
+def xavier_uniform(shape: tuple[int, ...], rng=None, gain: float = 1.0, dtype=np.float64) -> Tensor:
     """Glorot/Xavier uniform initialization for weight matrices."""
     rng = ensure_rng(rng)
     fan_in, fan_out = shape[0], shape[-1]
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+    draws = rng.uniform(-bound, bound, size=shape)
+    return Tensor(draws.astype(dtype, copy=False), requires_grad=True)
 
 
-def uniform(shape: tuple[int, ...], low: float, high: float, rng=None) -> Tensor:
+def uniform(shape: tuple[int, ...], low: float, high: float, rng=None, dtype=np.float64) -> Tensor:
     """Uniform initialization in ``[low, high)``."""
     rng = ensure_rng(rng)
-    return Tensor(rng.uniform(low, high, size=shape), requires_grad=True)
+    draws = rng.uniform(low, high, size=shape)
+    return Tensor(draws.astype(dtype, copy=False), requires_grad=True)
 
 
-def zeros(shape: tuple[int, ...]) -> Tensor:
+def zeros(shape: tuple[int, ...], dtype=np.float64) -> Tensor:
     """All-zero parameter (the usual bias initialization)."""
-    return Tensor(np.zeros(shape), requires_grad=True)
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=True)
 
 
-def ones(shape: tuple[int, ...]) -> Tensor:
+def ones(shape: tuple[int, ...], dtype=np.float64) -> Tensor:
     """All-one parameter (batch-norm scale)."""
-    return Tensor(np.ones(shape), requires_grad=True)
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=True)

@@ -89,14 +89,21 @@ def _collect_modules(value) -> list["Module"]:
 class Linear(Module):
     """Affine map ``y = x W + b``."""
 
-    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng=None,
+        dtype=np.float64,
+    ):
         super().__init__()
         check_positive("in_features", in_features)
         check_positive("out_features", out_features)
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = init.xavier_uniform((in_features, out_features), rng)
-        self.bias = init.zeros((out_features,)) if bias else None
+        self.weight = init.xavier_uniform((in_features, out_features), rng, dtype=dtype)
+        self.bias = init.zeros((out_features,), dtype=dtype) if bias else None
 
     def __call__(self, x: Tensor) -> Tensor:
         out = x @ self.weight
@@ -115,7 +122,14 @@ class Embedding(Module):
     via ``bound``.)
     """
 
-    def __init__(self, num_embeddings: int, dim: int, rng=None, bound: float | None = None):
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng=None,
+        bound: float | None = None,
+        dtype=np.float64,
+    ):
         super().__init__()
         check_positive("num_embeddings", num_embeddings)
         check_positive("dim", dim)
@@ -123,10 +137,14 @@ class Embedding(Module):
         self.dim = dim
         if bound is None:
             bound = 1.0 / np.sqrt(dim)
-        self.weight = init.uniform((num_embeddings, dim), -bound, bound, rng)
+        self.weight = init.uniform((num_embeddings, dim), -bound, bound, rng, dtype=dtype)
 
     def __call__(self, indices) -> Tensor:
-        indices = np.asarray(indices, dtype=np.int64)
+        # Narrowed (int32) walk-batch ids index directly; anything else is
+        # normalized to int64 first.
+        indices = np.asarray(indices)
+        if indices.dtype.kind != "i":
+            indices = indices.astype(np.int64)
         return self.weight[indices]
 
 
@@ -140,16 +158,17 @@ class LSTM(Module):
     starts at 1 (standard remedy for vanishing memory).
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng=None):
+    def __init__(self, input_size: int, hidden_size: int, rng=None, dtype=np.float64):
         super().__init__()
         check_positive("input_size", input_size)
         check_positive("hidden_size", hidden_size)
         rng = ensure_rng(rng)
         self.input_size = input_size
         self.hidden_size = hidden_size
-        self.w_ih = init.xavier_uniform((input_size, 4 * hidden_size), rng)
-        self.w_hh = init.xavier_uniform((hidden_size, 4 * hidden_size), rng)
-        bias = np.zeros(4 * hidden_size)
+        self.dtype = np.dtype(dtype)
+        self.w_ih = init.xavier_uniform((input_size, 4 * hidden_size), rng, dtype=dtype)
+        self.w_hh = init.xavier_uniform((hidden_size, 4 * hidden_size), rng, dtype=dtype)
+        bias = np.zeros(4 * hidden_size, dtype=dtype)
         bias[hidden_size : 2 * hidden_size] = 1.0  # forget gate
         self.bias = Tensor(bias, requires_grad=True)
 
@@ -170,13 +189,13 @@ class LSTM(Module):
         if not steps:
             raise ValueError("LSTM needs at least one input step")
         batch = steps[0].shape[0]
-        h = Tensor(np.zeros((batch, self.hidden_size)))
-        c = Tensor(np.zeros((batch, self.hidden_size)))
+        h = Tensor(np.zeros((batch, self.hidden_size), dtype=self.dtype))
+        c = Tensor(np.zeros((batch, self.hidden_size), dtype=self.dtype))
         outputs: list[Tensor] = []
         for t, x in enumerate(steps):
             h_new, c_new = self.step(x, h, c)
             if mask is not None:
-                m = Tensor(mask[t].reshape(batch, 1))
+                m = Tensor(np.asarray(mask[t], dtype=self.dtype).reshape(batch, 1))
                 h = m * h_new + (1.0 - m) * h
                 c = m * c_new + (1.0 - m) * c
             else:
@@ -195,12 +214,19 @@ class StackedLSTM(Module):
     this reference in ``tests/nn/test_fused_lstm.py``.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 2, rng=None):
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        num_layers: int = 2,
+        rng=None,
+        dtype=np.float64,
+    ):
         super().__init__()
         check_positive("num_layers", num_layers)
         rng = ensure_rng(rng)
         self.layers = [
-            LSTM(input_size if i == 0 else hidden_size, hidden_size, rng)
+            LSTM(input_size if i == 0 else hidden_size, hidden_size, rng, dtype=dtype)
             for i in range(num_layers)
         ]
 
@@ -249,8 +275,9 @@ def fused_stacked_lstm(x: Tensor, layers: list[LSTM], mask: np.ndarray | None = 
     if x.ndim != 3:
         raise ValueError(f"fused LSTM expects (B, T, D) input, got {x.shape}")
     batch, steps, _ = x.shape
+    real = x.data.dtype  # the policy dtype threads through every buffer
     if mask is not None:
-        mask = np.asarray(mask, dtype=np.float64)
+        mask = np.asarray(mask, dtype=real)
         if mask.shape != (batch, steps):
             raise ValueError(
                 f"mask shape {mask.shape} must be (B, T) = {(batch, steps)}"
@@ -274,12 +301,12 @@ def fused_stacked_lstm(x: Tensor, layers: list[LSTM], mask: np.ndarray | None = 
     inp = np.ascontiguousarray(np.swapaxes(x.data, 0, 1))  # (T, B, D)
     for layer in layers:
         w_ih, w_hh, bias = layer.w_ih.data, layer.w_hh.data, layer.bias.data
-        gates = np.empty((steps, batch, 4 * hs))
-        tc_seq = np.empty((steps, batch, hs))
-        h_seq = np.empty((steps, batch, hs))
-        c_seq = np.empty((steps, batch, hs))
-        h = np.zeros((batch, hs))
-        c = np.zeros((batch, hs))
+        gates = np.empty((steps, batch, 4 * hs), dtype=real)
+        tc_seq = np.empty((steps, batch, hs), dtype=real)
+        h_seq = np.empty((steps, batch, hs), dtype=real)
+        c_seq = np.empty((steps, batch, hs), dtype=real)
+        h = np.zeros((batch, hs), dtype=real)
+        c = np.zeros((batch, hs), dtype=real)
         for t in range(steps):
             # Same association order as LSTM.step: (x@Wih + h@Whh) + bias.
             z = inp[t] @ w_ih
@@ -349,18 +376,18 @@ def fused_stacked_lstm(x: Tensor, layers: list[LSTM], mask: np.ndarray | None = 
             d_bias = (
                 np.zeros_like(layer.bias.data) if layer.bias.requires_grad else None
             )
-            dh = np.zeros((batch, hs))  # recurrent grad on carried h_{t}
-            dc = np.zeros((batch, hs))  # recurrent grad on carried c_{t}
+            dh = np.zeros((batch, hs), dtype=real)  # recurrent grad on carried h_t
+            dc = np.zeros((batch, hs), dtype=real)  # recurrent grad on carried c_t
             # Scratch buffers reused across steps; every slot is fully
             # rewritten before it is read in each iteration.  All in-place
             # chains keep the reference's left-to-right association.
-            dz = np.empty((batch, 4 * hs))
-            b_hnew = np.empty((batch, hs))
-            b_hskip = np.empty((batch, hs))
-            b_cnew = np.empty((batch, hs))
-            b_cskip = np.empty((batch, hs))
-            b_do = np.empty((batch, hs))
-            b_tmp = np.empty((batch, hs))
+            dz = np.empty((batch, 4 * hs), dtype=real)
+            b_hnew = np.empty((batch, hs), dtype=real)
+            b_hskip = np.empty((batch, hs), dtype=real)
+            b_cnew = np.empty((batch, hs), dtype=real)
+            b_cskip = np.empty((batch, hs), dtype=real)
+            b_do = np.empty((batch, hs), dtype=real)
+            b_tmp = np.empty((batch, hs), dtype=real)
             for t in range(steps - 1, -1, -1):
                 if d_out is not None:
                     dh_total = dh + d_out[t]
@@ -453,16 +480,22 @@ class BatchNorm1d(Module):
     uses the running averages at inference, as in Ioffe & Szegedy [33].
     """
 
-    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        dtype=np.float64,
+    ):
         super().__init__()
         check_positive("num_features", num_features)
         self.num_features = num_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = init.ones((num_features,))
-        self.beta = init.zeros((num_features,))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.gamma = init.ones((num_features,), dtype=dtype)
+        self.beta = init.zeros((num_features,), dtype=dtype)
+        self.running_mean = np.zeros(num_features, dtype=dtype)
+        self.running_var = np.ones(num_features, dtype=dtype)
 
     def __call__(self, x: Tensor) -> Tensor:
         if x.ndim != 2 or x.shape[1] != self.num_features:

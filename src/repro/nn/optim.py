@@ -3,6 +3,13 @@
 The paper trains with mini-batch stochastic gradient descent (Section IV.B);
 Adam is provided as the practical default for the LSTM stack, whose gate
 gradients span orders of magnitude.
+
+Both optimizers follow the precision policy implicitly: momentum/moment
+state is allocated with ``zeros_like`` on the parameters, every update uses
+Python-scalar coefficients (weak under NumPy promotion), and gradients
+arrive in the parameters' dtype from the autograd engine — so a ``float32``
+model trains with ``float32`` optimizer state end to end, with no silent
+promotion back to ``float64``.
 """
 
 from __future__ import annotations

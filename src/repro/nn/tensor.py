@@ -8,8 +8,15 @@ environment, so this module provides the required machinery from scratch:
 
 Design notes
 ------------
-- float64 everywhere: the model is small, and double precision makes the
-  finite-difference gradient checks in ``tests/nn`` tight (1e-6 tolerances).
+- dtype-preserving: a tensor built from a floating array keeps that array's
+  dtype, every op produces outputs in the operands' dtype, and scalars /
+  non-float inputs are coerced to the *default* ``float64``.  The precision
+  policy (:mod:`repro.nn.dtypes`) decides which floating dtype a model
+  allocates its parameters in; the engine then carries it through the whole
+  graph — ``float64`` (the reference mode, bitwise-identical to the
+  historical hard-coded behavior, with 1e-6 gradcheck tolerances) or
+  ``float32`` (the fast mode, validated under the policy's loosened
+  tolerances).
 - the graph is built eagerly by the arithmetic ops below; ``backward`` does an
   iterative topological sort, so deep BPTT chains cannot hit the recursion
   limit.
@@ -20,6 +27,26 @@ Design notes
 from __future__ import annotations
 
 import numpy as np
+
+#: Dtype for tensors built from scalars and non-floating arrays.
+DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def _coerce_array(value, dtype=None) -> np.ndarray:
+    """``value`` as a floating ndarray.
+
+    Floating inputs keep their dtype unless ``dtype`` overrides it; scalars,
+    integer and boolean inputs become ``dtype`` (default ``float64``).  This
+    is the single place the engine decides dtypes, so constants entering a
+    ``float32`` graph adopt ``float32`` instead of silently promoting the
+    whole downstream computation to ``float64``.
+    """
+    arr = np.asarray(value)
+    if dtype is not None:
+        return np.asarray(arr, dtype=dtype)
+    if arr.dtype.kind != "f":
+        return arr.astype(DEFAULT_DTYPE)
+    return arr
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -37,11 +64,16 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_tensor(value) -> "Tensor":
-    """Coerce scalars/arrays into constant (non-differentiable) tensors."""
+def _as_tensor(value, dtype=None) -> "Tensor":
+    """Coerce scalars/arrays into constant (non-differentiable) tensors.
+
+    ``dtype`` is the dtype non-tensor operands adopt — binary ops pass their
+    own dtype so mixing a tensor with a Python scalar or plain array never
+    promotes the result (tensor operands always keep their own dtype).
+    """
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64), requires_grad=False)
+    return Tensor(_coerce_array(value, dtype), requires_grad=False)
 
 
 class Tensor:
@@ -54,7 +86,7 @@ class Tensor:
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
 
     def __init__(self, data, requires_grad: bool = False):
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = _coerce_array(data)
         self.requires_grad = bool(requires_grad)
         self.grad: np.ndarray | None = None
         self._backward = None
@@ -87,6 +119,11 @@ class Tensor:
         """Number of dimensions of the underlying array."""
         return self.data.ndim
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the underlying array (set by the precision policy)."""
+        return self.data.dtype
+
     def detach(self) -> "Tensor":
         """A constant tensor sharing this one's data (cuts the graph)."""
         return Tensor(self.data, requires_grad=False)
@@ -116,7 +153,7 @@ class Tensor:
                 raise RuntimeError("backward() without gradient on non-scalar tensor")
             gradient = np.ones_like(self.data)
         else:
-            gradient = np.asarray(gradient, dtype=np.float64)
+            gradient = np.asarray(gradient, dtype=self.data.dtype)
             if gradient.shape != self.data.shape:
                 raise ValueError("gradient shape must match tensor shape")
 
@@ -144,7 +181,7 @@ class Tensor:
 
     # -- arithmetic -----------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = _as_tensor(other)
+        other = _as_tensor(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(g):
@@ -165,13 +202,13 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        return self + (-_as_tensor(other))
+        return self + (-_as_tensor(other, self.data.dtype))
 
     def __rsub__(self, other) -> "Tensor":
-        return _as_tensor(other) + (-self)
+        return _as_tensor(other, self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = _as_tensor(other)
+        other = _as_tensor(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(g):
@@ -185,7 +222,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = _as_tensor(other)
+        other = _as_tensor(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(g):
@@ -199,7 +236,7 @@ class Tensor:
         return Tensor._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return _as_tensor(other) / self
+        return _as_tensor(other, self.data.dtype) / self
 
     def __pow__(self, exponent) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -213,7 +250,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def __matmul__(self, other) -> "Tensor":
-        other = _as_tensor(other)
+        other = _as_tensor(other, self.data.dtype)
         if self.ndim != 2 or other.ndim != 2:
             raise ValueError("matmul supports 2-D tensors only")
         out_data = self.data @ other.data

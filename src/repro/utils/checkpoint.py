@@ -2,11 +2,14 @@
 
 A checkpoint is a single ``.npz`` archive holding (a) a JSON header with the
 format name, format version, the concrete method class, its constructor
-configuration and any JSON-serializable metadata (RNG state, loss history,
-…), and (b) the method's parameter arrays verbatim.  Keeping the header
-*inside* the archive makes checkpoints self-describing: ``load_checkpoint``
-refuses anything whose format or version it does not understand with a clear
-error instead of a shape mismatch three layers down.
+configuration, the **precision policy** the model was trained under and any
+JSON-serializable metadata (RNG state, loss history, …), and (b) the
+method's parameter arrays verbatim.  Keeping the header *inside* the archive
+makes checkpoints self-describing: ``load_checkpoint`` refuses anything
+whose format or version it does not understand with a clear error instead of
+a shape mismatch three layers down, and the loader can verify that the
+header's precision agrees with the configuration it is about to rebuild the
+model from (see :meth:`repro.base.EmbeddingMethod.load`).
 
 The format is deliberately dumb — ``np.savez`` plus JSON — so checkpoints
 stay readable from plain NumPy without importing this package.
@@ -23,7 +26,9 @@ import numpy as np
 #: Identifies archives written by this module.
 FORMAT = "repro.embedding_method"
 
-#: Bumped whenever the layout changes incompatibly.
+#: Bumped whenever the layout changes incompatibly.  The precision field is
+#: an *additive* header key (absent means "float64", the historical
+#: behavior), so it did not bump the version.
 VERSION = 2
 
 _HEADER_KEY = "__checkpoint_header__"
@@ -42,6 +47,9 @@ class Checkpoint:
     config: dict
     meta: dict = field(default_factory=dict)
     arrays: dict = field(default_factory=dict)
+    #: Precision policy recorded at save time ("float64" for pre-policy
+    #: archives, which never held anything else).
+    precision: str = "float64"
 
 
 def save_checkpoint(
@@ -50,18 +58,21 @@ def save_checkpoint(
     config: dict,
     arrays: dict,
     meta: dict | None = None,
+    precision: str = "float64",
 ) -> Path:
     """Write a versioned checkpoint archive; returns the resolved path.
 
     ``config`` and ``meta`` must be JSON-serializable; ``arrays`` maps names
-    to numpy arrays.  A ``.npz`` suffix is appended when missing (mirroring
-    ``np.savez``).
+    to numpy arrays.  ``precision`` records the policy the arrays were
+    produced under so loaders can refuse inconsistent archives.  A ``.npz``
+    suffix is appended when missing (mirroring ``np.savez``).
     """
     header = {
         "format": FORMAT,
         "version": VERSION,
         "class": class_name,
         "config": config,
+        "precision": precision,
         "meta": meta or {},
     }
     try:
@@ -123,6 +134,7 @@ def load_checkpoint(path) -> Checkpoint:
         config=header.get("config", {}),
         meta=header.get("meta", {}),
         arrays=arrays,
+        precision=header.get("precision", "float64"),
     )
 
 

@@ -85,6 +85,13 @@ class WalkBatch:
     construction paths (``batch_walks`` over ``Walk`` lists, or the engine's
     array-native ``*_walk_batch`` fast path) yield bitwise-equal arrays for
     the same walks.
+
+    Dtypes follow the precision policy of the producer: the default layout
+    is ``int64`` ids with ``float64`` valid/time-sums, while the fast
+    (``float32``) mode emits ``float32`` floats and — on graphs whose id
+    space fits ``int32`` — narrowed ids, halving the batch's memory
+    (:meth:`nbytes`).  The selection helpers below preserve whatever dtypes
+    the producer chose.
     """
 
     ids: np.ndarray
@@ -99,6 +106,11 @@ class WalkBatch:
     @property
     def max_len(self) -> int:
         return self.ids.shape[1]
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the padded arrays, in bytes."""
+        return self.ids.nbytes + self.valid.nbytes + self.time_sums.nbytes
 
     def row_lengths(self) -> np.ndarray:
         """Unpadded length of every walk row, ``(W,)``."""
@@ -140,9 +152,10 @@ class WalkBatch:
         starts = np.zeros(b, dtype=np.int64)
         np.cumsum(totals[:-1], out=starts[1:])
         col = np.arange(src.size, dtype=np.int64) - np.repeat(starts, totals)
-        ids = np.zeros((b, merged_len), dtype=np.int64)
-        valid = np.zeros((b, merged_len), dtype=np.float64)
-        sums = np.zeros((b, merged_len), dtype=np.float64)
+        # Preserve the producer's dtypes (narrowed ids / policy-real floats).
+        ids = np.zeros((b, merged_len), dtype=self.ids.dtype)
+        valid = np.zeros((b, merged_len), dtype=self.valid.dtype)
+        sums = np.zeros((b, merged_len), dtype=self.time_sums.dtype)
         ids[row, col] = self.ids.ravel()[src]
         valid[row, col] = 1.0
         sums[row, col] = self.time_sums.ravel()[src]

@@ -123,6 +123,14 @@ class BatchedWalkEngine:
         Eq. 1 exponential time-decay rate on the [0, 1] time scale.
     cache_size:
         Capacity (in walk *sets*) of the LRU walk cache; 0 disables caching.
+    real_dtype:
+        Floating dtype of the :class:`WalkBatch` arrays the array-native fast
+        path emits (``valid``/``time_sums``) — the precision policy's real
+        dtype.  Node-id buffers follow the *graph's* ``index_dtype`` (int32
+        on graphs whose id space fits), so fast-mode walk batches shrink to
+        about half the reference mode's bytes.  Timestamps and sampling
+        weights always stay ``float64`` internally: walk *selection* is
+        precision-independent, only the emitted batch narrows.
     time_buckets:
         Resolution of the cache key's time component.  0 keys on the exact
         anchor timestamp (reuse only across identical anchors — always safe);
@@ -138,6 +146,7 @@ class BatchedWalkEngine:
         decay: float = 1.0,
         cache_size: int = 0,
         time_buckets: int = 0,
+        real_dtype=np.float64,
     ) -> None:
         check_positive("p", p)
         check_positive("q", q)
@@ -145,6 +154,8 @@ class BatchedWalkEngine:
         check_non_negative("cache_size", cache_size)
         check_non_negative("time_buckets", time_buckets)
         self.graph = graph
+        self._real = np.dtype(real_dtype)
+        self._idx = graph.index_dtype
         self.p = float(p)
         self.q = float(q)
         self.decay = float(decay)
@@ -198,7 +209,10 @@ class BatchedWalkEngine:
         One binary search over the globally sorted encoded pair keys answers
         the whole batch.
         """
-        keys = prev * self.graph.num_nodes + cand
+        # Encoded keys must be computed in int64: narrowed int32 ids would
+        # otherwise overflow at num_nodes**2 under NumPy's value-preserving
+        # promotion rules.
+        keys = prev.astype(_I64, copy=False) * np.int64(self.graph.num_nodes) + cand
         pos = np.searchsorted(self._pair_keys, keys)
         pos = np.minimum(pos, self._pair_keys.size - 1)
         return self._pair_keys[pos] == keys
@@ -254,7 +268,7 @@ class BatchedWalkEngine:
         starts = np.asarray(starts, dtype=_I64)
         anchors = np.asarray(anchors, dtype=np.float64)
         b = starts.size
-        nodes_buf = np.empty((b, length + 1), dtype=_I64)
+        nodes_buf = np.empty((b, length + 1), dtype=self._idx)
         times_buf = np.empty((b, max(length, 1)), dtype=np.float64)
         nodes_buf[:, 0] = starts
         lengths = np.ones(b, dtype=_I64)
@@ -351,7 +365,7 @@ class BatchedWalkEngine:
         rng = ensure_rng(rng)
         starts = np.asarray(starts, dtype=_I64)
         b = starts.size
-        nodes_buf = np.empty((b, length + 1), dtype=_I64)
+        nodes_buf = np.empty((b, length + 1), dtype=self._idx)
         nodes_buf[:, 0] = starts
         lengths = np.ones(b, dtype=_I64)
         cur = starts.copy()
@@ -396,6 +410,8 @@ class BatchedWalkEngine:
         pos = np.arange(max_len, dtype=_I64)
         valid = pos < lengths[:, None]  # (W, T) bool
         ids = np.where(valid, nodes_buf[:, :max_len], 0)
+        # Time-sum accumulation stays float64 (bitwise-equal to the Walk
+        # reference for the default policy); only the emitted array narrows.
         sums = np.zeros((n_rows, max_len), dtype=np.float64)
         if times_buf is not None and max_len > 1:
             edge_valid = pos[: max_len - 1] < (lengths - 1)[:, None]
@@ -412,7 +428,10 @@ class BatchedWalkEngine:
             ids = ids[rows, idx]
             sums = sums[rows, idx]
         return WalkBatch(
-            ids=ids, valid=valid.astype(np.float64), time_sums=sums, k=k
+            ids=ids,
+            valid=valid.astype(self._real),
+            time_sums=sums.astype(self._real, copy=False),
+            k=k,
         )
 
     def temporal_walk_batch(
@@ -503,7 +522,7 @@ class BatchedWalkEngine:
         rng = ensure_rng(rng)
         starts = np.asarray(starts, dtype=_I64)
         b = starts.size
-        nodes_buf = np.empty((b, length + 1), dtype=_I64)
+        nodes_buf = np.empty((b, length + 1), dtype=self._idx)
         nodes_buf[:, 0] = starts
         lengths = np.ones(b, dtype=_I64)
         cur = starts.copy()
@@ -564,7 +583,7 @@ class BatchedWalkEngine:
         first = np.where(flip, v, u)
         second = np.where(flip, u, v)
 
-        nodes_buf = np.empty((b, length + 1), dtype=_I64)
+        nodes_buf = np.empty((b, length + 1), dtype=self._idx)
         times_buf = np.empty((b, max(length, 1)), dtype=np.float64)
         nodes_buf[:, 0] = first
         nodes_buf[:, 1] = second

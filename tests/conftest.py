@@ -9,6 +9,24 @@ from repro.datasets import temporal_sbm, tmall_like
 from repro.graph import TemporalGraph
 
 
+@pytest.fixture(autouse=True)
+def strict_float_errors():
+    """Run every test with floating-point faults raised, not flagged.
+
+    Division by zero, overflow and invalid operations (the faults a silent
+    ``float32`` narrowing could introduce) raise ``FloatingPointError``
+    instead of passing NaN/inf downstream.  **Allowlisted exception:**
+    underflow stays ignored — gradual underflow to zero is the designed
+    behavior of ``exp(-large)`` in the decay kernels, sigmoids and masked
+    softmaxes (``exp(-1e9)`` on padded positions), and is benign in both
+    precisions.  Code with *intentional* non-finite arithmetic declares it
+    locally with ``np.errstate`` (e.g. the baselines' clipped-log losses),
+    which overrides this outer context.
+    """
+    with np.errstate(divide="raise", over="raise", invalid="raise", under="ignore"):
+        yield
+
+
 @pytest.fixture
 def tiny_graph() -> TemporalGraph:
     """The paper's Figure 1 co-author example (nodes 1-8 -> ids 0-7).

@@ -1,0 +1,97 @@
+"""The datasets.load LRU memoization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load, load_cache_clear, load_cache_info
+from repro.datasets.registry import LOAD_CACHE_SIZE
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    load_cache_clear()
+    yield
+    load_cache_clear()
+
+
+class TestLoadCache:
+    def test_repeat_load_hits_cache(self):
+        g1 = load("digg", scale=0.05, seed=3)
+        info = load_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 0
+        g2 = load("digg", scale=0.05, seed=3)
+        info = load_cache_info()
+        assert info["hits"] == 1
+        assert g2 is g1  # the memoized object, not a regeneration
+
+    def test_distinct_signatures_miss(self):
+        load("digg", scale=0.05, seed=3)
+        load("digg", scale=0.05, seed=4)
+        load("digg", scale=0.1, seed=3)
+        load("yelp", scale=0.05, seed=3)
+        assert load_cache_info()["hits"] == 0
+        assert load_cache_info()["misses"] == 4
+
+    def test_labels_flag_is_part_of_the_key(self):
+        g = load("digg", scale=0.05, seed=5)
+        pair = load("digg", scale=0.05, seed=5, labels=True)
+        assert load_cache_info()["misses"] == 2
+        graph, labels = pair
+        assert labels.shape == (graph.num_nodes,)
+        # Hitting the labeled entry returns the same pair.
+        assert load("digg", scale=0.05, seed=5, labels=True) is pair
+        # Same seed => bitwise the same graph either way.
+        np.testing.assert_array_equal(graph.src, g.src)
+        np.testing.assert_array_equal(graph.time, g.time)
+
+    def test_seed_none_never_caches(self):
+        g1 = load("digg", scale=0.05)
+        g2 = load("digg", scale=0.05)
+        info = load_cache_info()
+        assert info["hits"] == 0 and info["size"] == 0
+        assert g1 is not g2
+
+    def test_generator_seed_never_caches(self):
+        rng = np.random.default_rng(0)
+        load("digg", scale=0.05, seed=rng)
+        assert load_cache_info()["size"] == 0
+
+    def test_lru_eviction_keeps_capacity_bounded(self):
+        for i in range(LOAD_CACHE_SIZE + 3):
+            load("digg", scale=0.05, seed=100 + i)
+        info = load_cache_info()
+        assert info["size"] == LOAD_CACHE_SIZE
+        # The oldest entry was evicted: loading it again is a miss.
+        misses = info["misses"]
+        load("digg", scale=0.05, seed=100)
+        assert load_cache_info()["misses"] == misses + 1
+        # The newest entry survived.
+        hits = load_cache_info()["hits"]
+        load("digg", scale=0.05, seed=100 + LOAD_CACHE_SIZE + 2)
+        assert load_cache_info()["hits"] == hits + 1
+
+    def test_clear_resets_counters(self):
+        load("digg", scale=0.05, seed=9)
+        load("digg", scale=0.05, seed=9)
+        load_cache_clear()
+        assert load_cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+            "maxsize": LOAD_CACHE_SIZE,
+        }
+
+    def test_failed_load_does_not_count_a_miss(self):
+        from repro.datasets import UnknownDatasetError
+
+        with pytest.raises(UnknownDatasetError):
+            load("no-such-dataset", seed=0)
+        assert load_cache_info()["misses"] == 0
+        assert load_cache_info()["size"] == 0
+
+    def test_numpy_integer_seed_caches_like_python_int(self):
+        load("digg", scale=0.05, seed=np.int64(7))
+        load("digg", scale=0.05, seed=7)
+        assert load_cache_info()["hits"] == 1

@@ -18,6 +18,13 @@ Two gates, both wired into ``make test`` via ``make api-check``:
    adapters and the CLI are built on.  This keeps a new scenario from
    shipping half a task.
 
+3. **Precision policy** — ``repro.nn.dtypes`` must expose the policy
+   surface (``Precision``/``get_precision``/``FLOAT64``/``FLOAT32``), every
+   embedding method must accept ``precision="float32"`` at construction and
+   report it via ``_precision_name()``, and ``EHNAConfig.validate`` must
+   reject unknown precision names.  This keeps a new method (or a config
+   regression) from silently ignoring the policy.
+
 Run directly; exits non-zero listing every violation.
 """
 
@@ -149,6 +156,56 @@ def check_task_layer() -> list[str]:
     return problems
 
 
+def check_precision_surface() -> list[str]:
+    """Violations of the precision-policy surface (empty list = clean)."""
+    problems = []
+    try:
+        from repro.nn.dtypes import (
+            FLOAT32,
+            FLOAT64,
+            PRECISIONS,
+            Precision,
+            UnknownPrecisionError,
+            get_precision,
+        )
+    except ImportError as exc:
+        return [f"precision: policy module missing pieces: {exc}"]
+
+    for name in ("float64", "float32"):
+        if name not in PRECISIONS or not isinstance(PRECISIONS[name], Precision):
+            problems.append(f"precision: policy {name!r} is not registered")
+    if get_precision("float64") is not FLOAT64 or get_precision("float32") is not FLOAT32:
+        problems.append("precision: get_precision does not resolve the registry")
+    try:
+        get_precision("no-such-policy")
+        problems.append("precision: unknown names must raise UnknownPrecisionError")
+    except UnknownPrecisionError as exc:
+        if "float64" not in str(exc) or "float32" not in str(exc):
+            problems.append("precision: the error must list the valid policy names")
+
+    from repro.core import EHNAConfig
+
+    try:
+        EHNAConfig(precision="no-such-policy").validate()
+        problems.append("precision: EHNAConfig.validate accepted an unknown policy")
+    except UnknownPrecisionError:
+        pass
+
+    for klass in all_method_classes():
+        label = klass.__name__
+        try:
+            model = klass(precision="float32")
+        except Exception as exc:
+            problems.append(f"{label}: construction with precision='float32' failed: {exc}")
+            continue
+        if model._precision_name() != "float32":
+            problems.append(
+                f"{label}: _precision_name() reports "
+                f"{model._precision_name()!r} for a float32 model"
+            )
+    return problems
+
+
 def main() -> int:
     classes = all_method_classes()
     if len(classes) < 5:
@@ -176,6 +233,16 @@ def main() -> int:
         print(
             "api-check: task layer complete "
             f"({len(REQUIRED_TASKS)} tasks, Runner, ResultTable)"
+        )
+    precision_problems = check_precision_surface()
+    if precision_problems:
+        failures += 1
+        for line in precision_problems:
+            print(f"api-check: {line}", file=sys.stderr)
+    else:
+        print(
+            "api-check: precision policy complete "
+            f"({len(classes)} methods accept float32, config validates)"
         )
     return 1 if failures else 0
 

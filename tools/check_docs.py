@@ -31,6 +31,11 @@ MIRRORS = [
         "python",
         "examples/paper_tables.py",
     ),
+    (
+        "## Fast mode: the float32 precision policy",
+        "python",
+        "examples/fast_mode.py",
+    ),
 ]
 
 
