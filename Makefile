@@ -4,12 +4,18 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-train bench-precision bench-all docs-check quickstart lint api-check tables
+.PHONY: test test-stream bench bench-train bench-precision bench-streaming bench-all docs-check quickstart lint api-check tables
 
 ## Tier-1 test suite (the gate every change must keep green).  Runs the
 ## protocol-v2 surface check and the (ruff-when-available) linter first.
 test: api-check lint
 	$(PY) -m pytest -x -q
+
+## Streaming layer suite, *including* the stress-marked property sweeps
+## that tier-1 deselects (pytest.ini: addopts = -m "not stress").
+test-stream:
+	$(PY) -m pytest tests/stream tests/graph/test_extend_buffered.py \
+		tests/core/test_stream_regression.py -q -m "stress or not stress"
 
 ## Assert every EmbeddingMethod subclass implements the v2 API surface.
 api-check:
@@ -32,6 +38,11 @@ bench-train:
 ## walk-buffer memory reduction, link-prediction AUC parity).
 bench-precision:
 	$(PY) -m pytest benchmarks/bench_precision.py -q -s
+
+## Streaming benchmark (amortized extend >=2x over per-call re-sort on a
+## 50k-event replay; records ingest throughput and encode p50/p99 latency).
+bench-streaming:
+	$(PY) -m pytest benchmarks/bench_streaming.py -q -s
 
 ## Every benchmark, including full experiment regenerations (slow).
 bench-all:

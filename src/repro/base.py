@@ -160,7 +160,7 @@ class EmbeddingMethod(abc.ABC):
     # v2: incremental training
     # ------------------------------------------------------------------
     def partial_fit(
-        self, edges, num_nodes: int | None = None, epochs: int | None = None
+        self, edges=None, num_nodes: int | None = None, epochs: int | None = None
     ) -> "EmbeddingMethod":
         """Append streamed ``edges`` to the graph and train incrementally.
 
@@ -168,9 +168,23 @@ class EmbeddingMethod(abc.ABC):
         is extended (new nodes grow the embedding space), and the method
         runs ``epochs`` incremental training epochs over the *fresh* events
         only — no refit from scratch.  Requires a previous ``fit``.
+
+        ``edges=None`` is the **buffered-graph absorb**: events already
+        ingested into ``self.graph`` via
+        :meth:`~repro.graph.temporal_graph.TemporalGraph.extend_in_place`
+        (the amortized streaming path — see ``repro.stream``) are claimed
+        with ``take_fresh()`` and trained on exactly once.  With nothing
+        buffered since the last absorb this is a no-op, so a zero-event
+        training tick costs nothing and changes nothing.
         """
         if self.graph is None:
             raise RuntimeError("call fit() before partial_fit()")
+        if edges is None:
+            fresh = self.graph.take_fresh()
+            if fresh.size == 0:
+                return self
+            self._apply_partial_fit(self.graph, fresh, epochs)
+            return self
         src, dst, time, weight = parse_edge_batch(edges)
         new_graph, fresh = self.graph.extend(
             src, dst, time, weight, num_nodes=num_nodes

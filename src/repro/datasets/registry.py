@@ -12,9 +12,11 @@ Generation is memoized: repeated ``load`` calls with the same
 ``(name, scale, seed, labels)`` — the signature every Runner/benchmark grid
 cell resolves through — return the cached graph instead of regenerating it.
 Only *deterministic* requests cache (an integer seed); ``seed=None`` or a
-live ``Generator`` ask for fresh randomness and always regenerate.  Cached
-objects are shared: treat them as immutable (every ``TemporalGraph``
-operation already returns new graphs).  ``load_cache_info`` /
+live ``Generator`` ask for fresh randomness and always regenerate.  Every
+``load`` hands out an O(1) :meth:`TemporalGraph.copy` of the cached pristine
+object (underlying arrays shared, mutable streaming state independent), so a
+caller growing its graph via ``extend_in_place``/``partial_fit`` can never
+poison what the next caller receives.  ``load_cache_info`` /
 ``load_cache_clear`` expose and reset the LRU.
 """
 
@@ -115,7 +117,7 @@ def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
         if hit is not None:
             _load_cache.move_to_end(cache_key)
             _load_stats["hits"] += 1
-            return hit
+            return _clone(hit)
 
     def s(value: int, minimum: int = 8) -> int:
         return max(int(round(value * scale)), minimum)
@@ -145,4 +147,16 @@ def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
         _load_cache[cache_key] = result  # new keys append in LRU order
         while len(_load_cache) > LOAD_CACHE_SIZE:
             _load_cache.popitem(last=False)
+        # The cache keeps the pristine object; callers get a copy they are
+        # free to grow in place (the first caller included).
+        return _clone(result)
     return result
+
+
+def _clone(result):
+    """A caller-owned view of a cached entry: graphs copy (O(1), arrays
+    shared), label arrays copy so in-place edits can't reach the cache."""
+    if isinstance(result, tuple):
+        graph, node_labels = result
+        return graph.copy(), node_labels.copy()
+    return result.copy()

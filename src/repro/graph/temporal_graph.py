@@ -17,6 +17,20 @@ all cheap:
 Timestamps may be arbitrary floats (years, epoch seconds).  ``times01`` gives
 the monotone rescaling to ``[0, 1]`` used inside decay kernels and attention
 (see DESIGN.md, substitution table).
+
+**Streaming extension.**  ``extend`` returns a brand-new graph (one full
+stable merge + CSR rebuild per call) — correct but O(m log m) per arriving
+micro-batch.  The amortized path is ``extend_in_place``: arriving events land
+in an append buffer in O(batch), and the merge/rebuild runs once per
+**compaction** — triggered every ``compact_every`` buffered events, by an
+explicit ``compact()``, or transparently on the first read of any derived
+structure.  Readers therefore always observe the fully merged graph
+(``pending_events`` tells how many events are currently buffered), and a
+compacted stream is bitwise identical to a from-scratch ``from_edges`` build
+of the same events.  ``take_fresh`` hands the not-yet-absorbed event ids to
+``EmbeddingMethod.partial_fit(None)``; ``pin_time_scale`` freezes the
+``times01`` mapping so a growing stream head cannot silently re-scale the
+history a trained model was fitted on.
 """
 
 from __future__ import annotations
@@ -54,6 +68,11 @@ class TemporalGraph:
         self._dst = dst
         self._time = time
         self._weight = weight
+        self._pending: list[tuple] = []  # buffered (src, dst, time, weight)
+        self._pending_count = 0
+        self._unabsorbed = np.empty(0, dtype=np.int64)  # compacted, unclaimed
+        self._compactions = 0
+        self._scale = None  # pinned (lo, hi) of the times01 mapping, or None
         self._build_incidence()
         self._pair_keys = None  # lazy: sorted unique min*n+max pair keys
         self._times01 = None  # lazy: times rescaled to [0, 1]
@@ -132,10 +151,26 @@ class TemporalGraph:
         of older events may shift when arrivals carry historical
         timestamps).  An empty batch returns ``(self, empty)``.
         """
+        self._ensure_compacted()
         src, dst, time, weight = self._validate_edge_arrays(src, dst, time, weight)
         if src.size == 0:
             return self, np.empty(0, dtype=np.int64)
 
+        n = self._grown_node_count(src, dst, num_nodes)
+        all_src = np.concatenate([self._src, src])
+        all_dst = np.concatenate([self._dst, dst])
+        all_time = np.concatenate([self._time, time])
+        all_weight = np.concatenate([self._weight, weight])
+        order = np.argsort(all_time, kind="stable")
+        fresh = np.flatnonzero(order >= self._src.size)
+        graph = TemporalGraph(
+            n, all_src[order], all_dst[order], all_time[order], all_weight[order]
+        )
+        graph._scale = self._scale  # a pinned time scale survives extension
+        return graph, fresh
+
+    def _grown_node_count(self, src, dst, num_nodes) -> int:
+        """Node count after admitting ``src``/``dst`` (shared extend logic)."""
         max_node = int(max(src.max(), dst.max()))
         n = max(self._n, max_node + 1)
         if num_nodes is not None:
@@ -144,17 +179,162 @@ class TemporalGraph:
                     f"num_nodes={num_nodes} too small for max node id {max_node}"
                 )
             n = max(n, int(num_nodes))
+        return n
 
-        all_src = np.concatenate([self._src, src])
-        all_dst = np.concatenate([self._dst, dst])
-        all_time = np.concatenate([self._time, time])
-        all_weight = np.concatenate([self._weight, weight])
+    # ------------------------------------------------------------------
+    # streaming extension (amortized in-place path)
+    # ------------------------------------------------------------------
+    def extend_in_place(
+        self, src, dst, time, weight=None, num_nodes=None, compact_every=None
+    ) -> "TemporalGraph":
+        """Append events to this graph's buffer in O(batch); returns self.
+
+        The amortized counterpart of :meth:`extend`: events are validated
+        and stored in an append buffer, and the stable merge + CSR rebuild
+        that :meth:`extend` pays on *every* call runs once per compaction —
+        when ``compact_every`` buffered events accumulate, on an explicit
+        :meth:`compact`, or transparently on the first read of any derived
+        structure.  ``num_nodes`` reserves id headroom exactly as in
+        :meth:`extend`; new node ids grow the graph immediately (node ids
+        are stable — growth never renumbers existing nodes).
+
+        Unlike :meth:`extend` this **mutates** the receiver, which is why
+        :func:`repro.datasets.load` hands out :meth:`copy` snapshots of its
+        cache entries.  Use it when the graph is an owned, live object — the
+        streaming ingest path (`repro.stream.OnlineService`) — not on graphs
+        shared with other readers.
+        """
+        src, dst, time, weight = self._validate_edge_arrays(src, dst, time, weight)
+        if src.size == 0:
+            return self
+        self._n = self._grown_node_count(src, dst, num_nodes)
+        self._pending.append((src, dst, time, weight))
+        self._pending_count += src.size
+        if compact_every is not None and self._pending_count >= int(compact_every):
+            self.compact()
+        return self
+
+    @property
+    def pending_events(self) -> int:
+        """Number of buffered events awaiting compaction."""
+        return self._pending_count
+
+    @property
+    def compactions(self) -> int:
+        """How many buffer compactions this graph has performed."""
+        return self._compactions
+
+    def compact(self) -> np.ndarray:
+        """Merge every buffered event into the sorted edge table.
+
+        One stable merge covers all pending events regardless of how many
+        ``extend_in_place`` calls buffered them — that is the amortization.
+        Returns the edge ids of the just-merged events *in the new id
+        space* (empty when nothing was pending); ids of older events may
+        shift when arrivals carry historical timestamps.  After compaction
+        the graph is bitwise identical to a from-scratch build of the same
+        event set.
+        """
+        if not self._pending:
+            return np.empty(0, dtype=np.int64)
+        base_m = self._src.size
+        all_src = np.concatenate([self._src] + [p[0] for p in self._pending])
+        all_dst = np.concatenate([self._dst] + [p[1] for p in self._pending])
+        all_time = np.concatenate([self._time] + [p[2] for p in self._pending])
+        all_weight = np.concatenate([self._weight] + [p[3] for p in self._pending])
+        self._pending.clear()
+        self._pending_count = 0
         order = np.argsort(all_time, kind="stable")
-        fresh = np.flatnonzero(order >= self.num_edges)
-        graph = TemporalGraph(
-            n, all_src[order], all_dst[order], all_time[order], all_weight[order]
+        # Positions in the merged order: new_pos[old_position] = new id.
+        new_pos = np.empty(order.size, dtype=np.int64)
+        new_pos[order] = np.arange(order.size, dtype=np.int64)
+        self._src = all_src[order]
+        self._dst = all_dst[order]
+        self._time = all_time[order]
+        self._weight = all_weight[order]
+        self._build_incidence()
+        # Rebind (never mutate) the lazy structures: copies made by copy()
+        # keep observing the pre-compaction arrays.
+        self._pair_keys = None
+        self._times01 = None
+        self._inc_weight = None
+        self._distinct = None
+        fresh = np.sort(new_pos[base_m:])
+        # Ids handed out by earlier compactions but not yet claimed by
+        # take_fresh() shift with the merge; remap them into the new space.
+        self._unabsorbed = np.sort(
+            np.concatenate([new_pos[self._unabsorbed], fresh])
         )
-        return graph, fresh
+        self._compactions += 1
+        return fresh
+
+    def take_fresh(self) -> np.ndarray:
+        """Claim the event ids appended since the last ``take_fresh``.
+
+        Compacts first, so the returned ids index the current edge table.
+        This is the hand-off `EmbeddingMethod.partial_fit(None)` uses to
+        train on buffered arrivals exactly once: ids survive intermediate
+        compactions (they are remapped each merge) and are cleared once
+        claimed.
+        """
+        self._ensure_compacted()
+        fresh, self._unabsorbed = self._unabsorbed, np.empty(0, dtype=np.int64)
+        return fresh
+
+    def _ensure_compacted(self) -> None:
+        """Readers call this first: buffered events must be visible."""
+        if self._pending:
+            self.compact()
+
+    def copy(self) -> "TemporalGraph":
+        """A snapshot sharing this graph's (immutable) arrays in O(1).
+
+        Compaction *rebinds* arrays rather than writing into them, so the
+        copy and the original can diverge freely afterwards: extending one
+        in place never changes what the other observes.  This is what makes
+        copy-on-hit cheap enough for the ``datasets.load`` memoization.
+        """
+        self._ensure_compacted()
+        twin = TemporalGraph.__new__(TemporalGraph)
+        twin.__dict__.update(self.__dict__)
+        twin._pending = []
+        twin._pending_count = 0
+        twin._unabsorbed = self._unabsorbed.copy()
+        return twin
+
+    # ------------------------------------------------------------------
+    # time-scale pinning
+    # ------------------------------------------------------------------
+    def pin_time_scale(self, lo: float | None = None, hi: float | None = None):
+        """Freeze the :meth:`times01` mapping at the given (default current) span.
+
+        Without a pin, ``times01``/``scale_time`` rescale against the *live*
+        ``time_span`` — so every later-than-head arrival silently shifts the
+        scaled timestamps of the whole history, perturbing the decay-kernel
+        inputs a trained model was fitted on.  Pinning fixes ``(lo, hi)``
+        once (events beyond ``hi`` map monotonically above 1.0) and survives
+        :meth:`extend` / :meth:`extend_in_place` / :meth:`copy`; snapshots
+        and splits keep the legacy behavior of scaling to their own span.
+        Returns self.
+        """
+        if lo is None or hi is None:
+            span = self.time_span
+            lo = span[0] if lo is None else float(lo)
+            hi = span[1] if hi is None else float(hi)
+        if not (np.isfinite(lo) and np.isfinite(hi)) or hi < lo:
+            raise ValueError(f"invalid pinned time scale [{lo!r}, {hi!r}]")
+        self._scale = (float(lo), float(hi))
+        self._times01 = None
+        return self
+
+    @property
+    def time_scale(self) -> tuple[float, float] | None:
+        """The pinned ``times01`` span, or None when scaling tracks the data."""
+        return self._scale
+
+    def _scale_span(self) -> tuple[float, float]:
+        """(lo, hi) the 01-scaling maps from: the pin, else the data span."""
+        return self._scale if self._scale is not None else self.time_span
 
     def _build_incidence(self) -> None:
         """Per-node incidence lists sorted by time (CSR layout).
@@ -223,32 +403,37 @@ class TemporalGraph:
 
     @property
     def num_edges(self) -> int:
-        """Number of temporal edge events (parallel edges counted)."""
-        return self._src.size
+        """Number of temporal edge events, buffered arrivals included."""
+        return self._src.size + self._pending_count
 
     @property
     def src(self) -> np.ndarray:
         """Edge sources, time-sorted (read-only view)."""
+        self._ensure_compacted()
         return self._src
 
     @property
     def dst(self) -> np.ndarray:
         """Edge destinations, time-sorted (read-only view)."""
+        self._ensure_compacted()
         return self._dst
 
     @property
     def time(self) -> np.ndarray:
         """Edge timestamps, non-decreasing (read-only view)."""
+        self._ensure_compacted()
         return self._time
 
     @property
     def weight(self) -> np.ndarray:
         """Edge weights (read-only view)."""
+        self._ensure_compacted()
         return self._weight
 
     @property
     def time_span(self) -> tuple[float, float]:
         """(earliest, latest) timestamp."""
+        self._ensure_compacted()
         return float(self._time[0]), float(self._time[-1])
 
     @property
@@ -260,6 +445,7 @@ class TemporalGraph:
         its node-id buffers with this, so narrowing propagates through walk
         batches automatically.
         """
+        self._ensure_compacted()  # buffered growth may widen the id space
         return self._index_dtype
 
     @property
@@ -272,6 +458,7 @@ class TemporalGraph:
         weights).  This is what the ``int32`` index narrowing shrinks — the
         figure is surfaced in ``repr`` so the effect is observable.
         """
+        self._ensure_compacted()
         total = (
             self._src.nbytes
             + self._dst.nbytes
@@ -292,6 +479,7 @@ class TemporalGraph:
 
     def degrees(self) -> np.ndarray:
         """Temporal degree of every node (# incident edge events)."""
+        self._ensure_compacted()
         return self._degree.copy()
 
     def distinct_neighbor_counts(self) -> np.ndarray:
@@ -303,9 +491,12 @@ class TemporalGraph:
         """Edge timestamps rescaled monotonically to ``[0, 1]``.
 
         A constant-time graph maps everything to 0.  The scaling is cached.
+        Under :meth:`pin_time_scale` the mapping uses the pinned span, so
+        events past the pinned head scale monotonically above 1.
         """
+        self._ensure_compacted()
         if self._times01 is None:
-            lo, hi = self.time_span
+            lo, hi = self._scale_span()
             span = hi - lo
             if span == 0:
                 self._times01 = np.zeros_like(self._time)
@@ -315,7 +506,7 @@ class TemporalGraph:
 
     def scale_time(self, t: float) -> float:
         """Map one raw timestamp onto the :meth:`times01` scale."""
-        lo, hi = self.time_span
+        lo, hi = self._scale_span()
         span = hi - lo
         if span == 0:
             return 0.0
@@ -329,7 +520,7 @@ class TemporalGraph:
         engine relies on for bitwise reproducibility.
         """
         t = np.asarray(t, dtype=np.float64)
-        lo, hi = self.time_span
+        lo, hi = self._scale_span()
         span = hi - lo
         if span == 0:
             return np.zeros_like(t)
@@ -343,6 +534,7 @@ class TemporalGraph:
 
         Arrays are time-sorted views; callers must not mutate them.
         """
+        self._ensure_compacted()
         lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
         return self._inc_nbr[lo:hi], self._inc_time[lo:hi], self._inc_eid[lo:hi]
 
@@ -358,6 +550,7 @@ class TemporalGraph:
         candidate sets of every walk in a batch.  All arrays are shared,
         read-only views — callers must not mutate them.
         """
+        self._ensure_compacted()
         if self._inc_weight is None:
             self._inc_weight = self._weight[self._inc_eid]
         return (
@@ -377,6 +570,7 @@ class TemporalGraph:
         pair (the static edge weight node2vec uses).  Built lazily in one
         vectorized pass; arrays are shared, read-only views.
         """
+        self._ensure_compacted()
         if self._distinct is None:
             self._build_distinct()
         return self._distinct
@@ -389,6 +583,7 @@ class TemporalGraph:
         Returns ``(neighbors, times, edge_ids)`` time-sorted.  This is the
         "historical interactions" query of Definition 2.
         """
+        self._ensure_compacted()
         lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
         side = "right" if inclusive else "left"
         cut = lo + np.searchsorted(self._inc_time[lo:hi], t, side=side)
@@ -401,6 +596,7 @@ class TemporalGraph:
 
     def last_event_time(self, v: int) -> float | None:
         """Timestamp of the most recent interaction of ``v`` (None if isolated)."""
+        self._ensure_compacted()
         lo, hi = self._inc_offsets[v], self._inc_offsets[v + 1]
         if hi == lo:
             return None
@@ -413,6 +609,7 @@ class TemporalGraph:
         ``NaN`` (the array encoding of the scalar method's ``None``).  One
         gather over the incidence index instead of a per-node Python loop.
         """
+        self._ensure_compacted()
         if nodes is None:
             nodes = np.arange(self._n, dtype=np.int64)
         else:
@@ -426,6 +623,7 @@ class TemporalGraph:
 
     def _pair_index(self) -> np.ndarray:
         """Sorted unique canonical pair keys (``min * num_nodes + max``)."""
+        self._ensure_compacted()
         if self._pair_keys is None:
             lo = np.minimum(self._src, self._dst)
             hi = np.maximum(self._src, self._dst)
@@ -466,6 +664,7 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     def edges_until(self, t: float, inclusive: bool = True) -> np.ndarray:
         """Edge-id array of all events with ``time <= t`` (or ``< t``)."""
+        self._ensure_compacted()
         side = "right" if inclusive else "left"
         cut = np.searchsorted(self._time, t, side=side)
         return np.arange(cut, dtype=np.int64)
@@ -491,6 +690,7 @@ class TemporalGraph:
         matching "remove 20% of the most recent edges" in Section V.E.
         """
         check_fraction("fraction", fraction)
+        self._ensure_compacted()
         m = self.num_edges
         n_hold = int(round(m * fraction))
         n_hold = min(max(n_hold, 1), m - 1)
@@ -507,6 +707,7 @@ class TemporalGraph:
 
     def edge_tuples(self, edge_ids=None) -> list[tuple[int, int, float]]:
         """Materialize ``(u, v, t)`` tuples for the given edge ids (all if None)."""
+        self._ensure_compacted()
         if edge_ids is None:
             edge_ids = range(self.num_edges)
         return [
@@ -516,6 +717,7 @@ class TemporalGraph:
 
     def iter_chronological(self):
         """Yield :class:`EdgeEvent` in non-decreasing time order."""
+        self._ensure_compacted()
         for e in range(self.num_edges):
             yield EdgeEvent(
                 u=int(self._src[e]),

@@ -1,0 +1,28 @@
+"""Streaming ingestion and online serving over temporal graphs.
+
+The online counterpart of the batch pipeline: EHNA aggregates *historical*
+neighborhoods, so a trained model can keep serving — and keep learning —
+while new events arrive.  Three pieces compose the loop:
+
+- :class:`EventStreamLoader` — validated, time-ordered micro-batching of an
+  event stream (by count or by time window), with graph replay;
+- the amortized ``TemporalGraph.extend_in_place``/``compact`` path (in
+  ``repro.graph.temporal_graph``) — O(batch) appends, deferred re-sort;
+- :class:`OnlineService` — drives ``ingest -> absorb (partial_fit) ->
+  encode`` with staleness tracking, throughput and latency stats.
+
+See the "streaming layer" section of ``docs/architecture.md`` and
+``examples/streaming_service.py`` for the end-to-end loop.
+"""
+
+from repro.stream.loader import EventBatch, EventStreamLoader
+from repro.stream.metrics import LatencyTracker, ThroughputTracker
+from repro.stream.service import OnlineService
+
+__all__ = [
+    "EventBatch",
+    "EventStreamLoader",
+    "LatencyTracker",
+    "OnlineService",
+    "ThroughputTracker",
+]

@@ -1,0 +1,211 @@
+"""Online serving: interleave ingestion, incremental training and queries.
+
+:class:`OnlineService` wraps a *fitted* embedding method and drives the full
+streaming loop over the model's own graph:
+
+- :meth:`ingest` appends a micro-batch of events through the graph's
+  amortized :meth:`~repro.graph.temporal_graph.TemporalGraph.extend_in_place`
+  path (O(batch) per call; the stable-merge re-sort is deferred to one
+  compaction per ``compact_every`` events);
+- :meth:`absorb` runs ``model.partial_fit()`` over every event ingested
+  since the last absorb (the buffered-graph path — ``take_fresh`` claims
+  each event exactly once), optionally automatic every ``train_every``
+  ingested batches;
+- :meth:`encode` answers time-anchored queries, timing each call into a
+  :class:`~repro.stream.metrics.LatencyTracker`.
+
+**Staleness model.** Queries are served by the model's walk engine, whose
+sampling structures snapshot the graph at the last ``fit``/``absorb`` —
+ingested-but-unabsorbed events are visible to graph readers but not to
+queries.  :attr:`staleness` counts exactly those events, and ``absorb()``
+resets it to zero.  By default the service **pins the graph's time scale**
+at construction (``pin_time_scale=True``): the scaled-time encoding of
+historical events then stays fixed as the stream head advances, so answers
+for past anchors don't drift between absorbs merely because the timeline
+grew.  Events that introduce *new* nodes only become queryable after the
+next absorb (which grows the embedding table).
+
+The service enforces stream order at the ingest boundary: a batch reaching
+back before the newest ingested event is rejected, matching the loader's
+monotonicity contract end to end.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.base import EmbeddingMethod, parse_edge_batch
+from repro.stream.loader import EventBatch
+from repro.stream.metrics import LatencyTracker, ThroughputTracker
+from repro.utils.validation import check_positive
+
+
+class OnlineService:
+    """Serve time-anchored embeddings while the event stream keeps arriving.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`~repro.base.EmbeddingMethod` (``model.graph`` set).
+        The service grows this model's graph in place.
+    compact_every:
+        Buffered-event threshold for graph compaction (passed through to
+        ``extend_in_place``); lower = fresher CSR, higher = less re-sort
+        work per event.
+    train_every:
+        When set, ``absorb()`` runs automatically after every
+        ``train_every`` ingested batches; ``None`` leaves absorption fully
+        manual.
+    epochs:
+        Incremental epochs per absorb (``partial_fit``'s ``epochs``).
+    pin_time_scale:
+        Pin the graph's scaled-time mapping to its current span (see the
+        staleness model above).  Default on; pass ``False`` to keep the
+        legacy live rescaling.
+    """
+
+    def __init__(
+        self,
+        model: EmbeddingMethod,
+        *,
+        compact_every: int = 4096,
+        train_every: int | None = None,
+        epochs: int = 1,
+        pin_time_scale: bool = True,
+    ):
+        if model.graph is None:
+            raise RuntimeError(
+                "OnlineService wraps a fitted model; call fit() first"
+            )
+        check_positive("compact_every", compact_every)
+        check_positive("epochs", epochs)
+        if train_every is not None:
+            check_positive("train_every", train_every)
+        self.model = model
+        self.compact_every = int(compact_every)
+        self.train_every = None if train_every is None else int(train_every)
+        self.epochs = int(epochs)
+        if pin_time_scale and model.graph.time_scale is None:
+            model.graph.pin_time_scale()
+        # The stream head: the graph's edge table is time-sorted, so the
+        # newest event is the last row (empty graph = no constraint yet).
+        times = model.graph.time
+        self._head = float(times[-1]) if times.size else float("-inf")
+        self._ingested = 0
+        self._batches = 0
+        self._absorbs = 0
+        self._since_absorb = 0
+        self._batches_since_absorb = 0
+        self.ingest_throughput = ThroughputTracker()
+        self.encode_latency = LatencyTracker()
+        self.absorb_seconds = 0.0
+
+    @property
+    def graph(self):
+        """The model's (growing) temporal graph."""
+        return self.model.graph
+
+    @property
+    def staleness(self) -> int:
+        """Events ingested since the last absorb — invisible to queries."""
+        return self._since_absorb
+
+    # ------------------------------------------------------------------
+    # the streaming loop
+    # ------------------------------------------------------------------
+    def ingest(self, events) -> "OnlineService":
+        """Append one micro-batch of events to the model's graph.
+
+        ``events`` is an :class:`~repro.stream.loader.EventBatch` or any
+        form :func:`repro.base.parse_edge_batch` accepts.  Empty batches are
+        a no-op (but still count toward the ``train_every`` schedule, so a
+        quiet time window can trigger a scheduled absorb).
+        """
+        if isinstance(events, EventBatch):
+            events = events.columns()
+        src, dst, time, weight = parse_edge_batch(events)
+        time = np.asarray(time, dtype=np.float64)
+        if time.size:
+            t_min = float(time.min())
+            if t_min < self._head:
+                raise ValueError(
+                    f"out-of-order ingest: batch contains time {t_min} "
+                    f"earlier than the stream head {self._head}; the online "
+                    "service only accepts events at or after the newest "
+                    "ingested event"
+                )
+            t0 = _time.perf_counter()
+            self.graph.extend_in_place(
+                src, dst, time, weight, compact_every=self.compact_every
+            )
+            self.ingest_throughput.add(time.size, _time.perf_counter() - t0)
+            self._head = float(time.max())
+            self._ingested += time.size
+            self._since_absorb += time.size
+        self._batches += 1
+        self._batches_since_absorb += 1
+        if (
+            self.train_every is not None
+            and self._batches_since_absorb >= self.train_every
+        ):
+            self.absorb()
+        return self
+
+    def absorb(self, epochs: int | None = None) -> "OnlineService":
+        """Train the model on every event ingested since the last absorb.
+
+        Runs the buffered-graph ``partial_fit`` path: the graph compacts,
+        ``take_fresh()`` hands over the unabsorbed events, and the model
+        trains ``epochs`` incremental epochs on exactly those.  A zero-event
+        absorb is a no-op (nothing trains, no state changes).
+        """
+        t0 = _time.perf_counter()
+        self.model.partial_fit(epochs=self.epochs if epochs is None else epochs)
+        self.absorb_seconds += _time.perf_counter() - t0
+        if self._since_absorb:
+            self._absorbs += 1
+        self._since_absorb = 0
+        self._batches_since_absorb = 0
+        return self
+
+    def encode(self, nodes, at=None) -> np.ndarray:
+        """Answer a (timed) time-anchored embedding query.
+
+        Delegates to ``model.encode(nodes, at=at)`` and records the
+        wall-clock latency.  Answers reflect the model state as of the last
+        absorb (see the staleness model in the module docstring).
+        """
+        t0 = _time.perf_counter()
+        out = self.model.encode(nodes, at=at)
+        self.encode_latency.record(_time.perf_counter() - t0)
+        return out
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One flat snapshot of the service's counters and timings."""
+        encode = self.encode_latency.stats()
+        return {
+            "events_ingested": self._ingested,
+            "batches_ingested": self._batches,
+            "ingest_events_per_sec": self.ingest_throughput.events_per_sec,
+            "absorbs": self._absorbs,
+            "absorb_seconds": self.absorb_seconds,
+            "staleness_events": self.staleness,
+            "pending_events": self.graph.pending_events,
+            "compactions": self.graph.compactions,
+            "encode_queries": encode["count"],
+            "encode_p50_ms": encode["p50_ms"],
+            "encode_p99_ms": encode["p99_ms"],
+            "encode_mean_ms": encode["mean_ms"],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineService({type(self.model).__name__}, "
+            f"events={self._ingested}, absorbs={self._absorbs}, "
+            f"staleness={self.staleness})"
+        )

@@ -10,7 +10,9 @@ drivers.
   (the paper's Tables III-VI and Figure 4), plus
   :class:`NodeClassificationTask` (community-label probe) and
   :class:`TemporalRankingTask` (time-anchored future-neighbor ranking —
-  the first consumer of ``encode(nodes, at=times)``), and
+  the first consumer of ``encode(nodes, at=times)``),
+  :class:`StreamingReplayTask` (prequential replay through the online
+  service — see ``repro.stream``), and
   :class:`FitTimingTask` for pure efficiency grids (Table VIII);
 - :class:`Runner` — executes a grid with one ``fit()`` per
   (method, dataset, fit-key), per-cell timing capture and per-cell RNG
@@ -27,6 +29,7 @@ from repro.tasks.node_classification import NodeClassificationTask
 from repro.tasks.reconstruction import ReconstructionTask
 from repro.tasks.results import RESULT_SCHEMA, Cell, ResultTable
 from repro.tasks.runner import Runner, cell_rng
+from repro.tasks.streaming_replay import StreamingReplayTask
 from repro.tasks.temporal_ranking import TemporalRankingTask
 from repro.tasks.timing import FitTimingTask
 
@@ -36,6 +39,7 @@ TASK_TYPES = {
     ReconstructionTask.name: ReconstructionTask,
     NodeClassificationTask.name: NodeClassificationTask,
     TemporalRankingTask.name: TemporalRankingTask,
+    StreamingReplayTask.name: StreamingReplayTask,
     FitTimingTask.name: FitTimingTask,
 }
 
@@ -46,6 +50,7 @@ __all__ = [
     "ReconstructionTask",
     "NodeClassificationTask",
     "TemporalRankingTask",
+    "StreamingReplayTask",
     "FitTimingTask",
     "Runner",
     "cell_rng",

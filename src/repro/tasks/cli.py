@@ -101,6 +101,8 @@ def main(argv=None) -> int:
         if name == "temporal_ranking":
             kwargs["num_candidates"] = args.candidates
             kwargs["max_queries"] = args.queries
+        if name == "streaming_replay":
+            kwargs["max_queries"] = args.queries
         tasks.append(TASK_TYPES[name](**kwargs))
 
     runner = Runner(

@@ -1,0 +1,186 @@
+"""Streaming replay: prequential evaluation through the online service.
+
+Replays the held-out suffix of a dataset through
+:class:`~repro.stream.service.OnlineService` in arrival order, scoring each
+micro-batch *before* ingesting it — the classic test-then-train (prequential)
+protocol for streams.  Every held event ``(u, v, t)`` becomes a ranking
+query at its own timestamp, answered by whatever the service has absorbed
+so far, so the metric measures the model **as an online system**: early
+queries see a stale model, later ones benefit from incremental absorption.
+
+Alongside ranking quality (MRR), the task reports the service's operational
+counters — sustained ingest events/sec, encode p50/p99 latency, absorb
+count — making the streaming SLO part of the result table.
+
+The Runner's cached fit is never touched: ``evaluate`` clones the trained
+model through a ``save``/``load`` round-trip in a temporary directory and
+streams into the clone, so a later task sharing the same ``fit_key`` (link
+prediction, temporal ranking) still sees the pristine batch-trained model.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.base import EmbeddingMethod
+from repro.graph.temporal_graph import TemporalGraph
+from repro.stream.loader import EventStreamLoader
+from repro.stream.service import OnlineService
+from repro.tasks.base import Task, TaskData
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass
+class ReplayPayload:
+    """The held-out suffix to stream, as edge ids into the full graph."""
+
+    held: np.ndarray
+
+
+class StreamingReplayTask(Task):
+    """Test-then-train replay of the held-out suffix through a service."""
+
+    name = "streaming_replay"
+
+    def __init__(
+        self,
+        fraction: float = 0.2,
+        batch_size: int = 50,
+        num_candidates: int = 10,
+        max_queries: int = 20,
+        train_every: int = 1,
+        epochs: int = 1,
+        compact_every: int = 4096,
+    ):
+        check_fraction("fraction", fraction)
+        check_positive("batch_size", batch_size)
+        check_positive("num_candidates", num_candidates)
+        check_positive("max_queries", max_queries)
+        check_positive("train_every", train_every)
+        check_positive("epochs", epochs)
+        check_positive("compact_every", compact_every)
+        self.fraction = float(fraction)
+        self.batch_size = int(batch_size)
+        self.num_candidates = int(num_candidates)
+        self.max_queries = int(max_queries)
+        self.train_every = int(train_every)
+        self.epochs = int(epochs)
+        self.compact_every = int(compact_every)
+
+    @property
+    def fit_key(self):
+        # The link-prediction holdout split: one batch fit serves this task,
+        # link prediction and temporal ranking alike.
+        return ("holdout", self.fraction)
+
+    def prepare(self, graph: TemporalGraph, rng: np.random.Generator) -> TaskData:
+        train_graph, held = graph.split_recent(self.fraction)
+        return TaskData(
+            train_graph=train_graph,
+            payload=ReplayPayload(held=np.asarray(held, dtype=np.int64)),
+            full_graph=graph,
+        )
+
+    @staticmethod
+    def _clone(model: EmbeddingMethod) -> EmbeddingMethod:
+        """A fully independent copy of a trained model (save/load round-trip),
+        so streaming into it can't mutate the Runner's cached fit."""
+        with tempfile.TemporaryDirectory() as tmp:
+            path = model.save(Path(tmp) / "model.npz")
+            return type(model).load(path)
+
+    def _rank_batch(
+        self,
+        service: OnlineService,
+        batch,
+        servable: int,
+        quota: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Reciprocal ranks for up to ``quota`` queries drawn from ``batch``.
+
+        Only events whose endpoints the model can already serve (node id
+        below ``servable``) are eligible — nodes first seen mid-stream only
+        become queryable after an absorb grows the embedding table.
+        """
+        eligible = np.flatnonzero(
+            (batch.src < servable) & (batch.dst < servable)
+        )
+        if eligible.size == 0 or quota <= 0:
+            return np.empty(0)
+        if eligible.size > quota:
+            eligible = np.sort(rng.choice(eligible, size=quota, replace=False))
+        sources = batch.src[eligible]
+        positives = batch.dst[eligible]
+        anchors = batch.time[eligible].astype(np.float64)
+
+        cands = np.empty((eligible.size, self.num_candidates), dtype=np.int64)
+        for i, (u, v) in enumerate(zip(sources, positives)):
+            mask = np.ones(servable, dtype=bool)
+            mask[u] = mask[v] = False
+            pool = np.flatnonzero(mask)
+            if pool.size < self.num_candidates:
+                raise RuntimeError(
+                    f"cannot rank against {self.num_candidates} candidates "
+                    f"with only {servable} servable nodes; lower num_candidates"
+                )
+            cands[i] = np.sort(
+                rng.choice(pool, self.num_candidates, replace=False)
+            )
+
+        q, c = cands.shape
+        nodes = np.concatenate([sources, positives, cands.ravel()])
+        at = np.concatenate([anchors, anchors, np.repeat(anchors, c)])
+        emb = service.encode(nodes, at=at.tolist())
+        src_emb, pos_emb = emb[:q], emb[q : 2 * q]
+        cand_emb = emb[2 * q :].reshape(q, c, -1)
+        pos_score = np.sum(src_emb * pos_emb, axis=1)
+        cand_score = np.einsum("qd,qcd->qc", src_emb, cand_emb)
+        better = (cand_score > pos_score[:, None]).sum(axis=1)
+        ties = (cand_score == pos_score[:, None]).sum(axis=1)
+        return 1.0 / (1.0 + better + 0.5 * ties)
+
+    def evaluate(self, model, data: TaskData, rng) -> dict[str, float]:
+        payload: ReplayPayload = data.payload
+        full = data.full_graph
+        clone = self._clone(model)
+        service = OnlineService(
+            clone,
+            compact_every=self.compact_every,
+            train_every=self.train_every,
+            epochs=self.epochs,
+        )
+        loader = EventStreamLoader.from_graph(
+            full, payload.held, batch_size=self.batch_size
+        )
+        quota_per_batch = max(1, -(-self.max_queries // max(len(loader), 1)))
+
+        ranks: list[np.ndarray] = []
+        queries = 0
+        servable = data.train_graph.num_nodes
+        for batch in loader:
+            # Test first: score this batch against the pre-ingest model ...
+            rr = self._rank_batch(
+                service, batch, servable, min(quota_per_batch, self.max_queries - queries), rng
+            )
+            ranks.append(rr)
+            queries += rr.size
+            # ... then train: ingest (auto-absorbs every train_every batches).
+            service.ingest(batch)
+            servable = clone.graph.num_nodes if service.staleness == 0 else servable
+        service.absorb()
+
+        stats = service.stats()
+        rr = np.concatenate(ranks) if ranks else np.empty(0)
+        return {
+            "mrr": float(rr.mean()) if rr.size else 0.0,
+            "queries": float(rr.size),
+            "events_per_sec": float(stats["ingest_events_per_sec"]),
+            "encode_p50_ms": float(stats["encode_p50_ms"]),
+            "encode_p99_ms": float(stats["encode_p99_ms"]),
+            "absorbs": float(stats["absorbs"]),
+        }

@@ -24,7 +24,11 @@ class TestLoadCache:
         g2 = load("digg", scale=0.05, seed=3)
         info = load_cache_info()
         assert info["hits"] == 1
-        assert g2 is g1  # the memoized object, not a regeneration
+        # A caller-owned copy of the memoized graph, not a regeneration:
+        # the underlying edge arrays are shared, the object is fresh.
+        assert g2 is not g1
+        assert g2.src is g1.src
+        assert g2.time is g1.time
 
     def test_distinct_signatures_miss(self):
         load("digg", scale=0.05, seed=3)
@@ -40,11 +44,36 @@ class TestLoadCache:
         assert load_cache_info()["misses"] == 2
         graph, labels = pair
         assert labels.shape == (graph.num_nodes,)
-        # Hitting the labeled entry returns the same pair.
-        assert load("digg", scale=0.05, seed=5, labels=True) is pair
+        # Hitting the labeled entry returns an equivalent pair.
+        graph2, labels2 = load("digg", scale=0.05, seed=5, labels=True)
+        assert load_cache_info()["hits"] == 1
+        assert graph2.src is graph.src  # shared arrays, no regeneration
+        np.testing.assert_array_equal(labels2, labels)
         # Same seed => bitwise the same graph either way.
         np.testing.assert_array_equal(graph.src, g.src)
         np.testing.assert_array_equal(graph.time, g.time)
+
+    def test_cached_graph_is_isolated_from_a_callers_extend(self):
+        g1 = load("digg", scale=0.05, seed=11)
+        n, m = g1.num_nodes, g1.num_edges
+        head = g1.time[-1]
+        g1.extend_in_place([0], [1], [head + 1.0])
+        g1.compact()
+        assert g1.num_edges == m + 1
+        # A second load sees the pristine graph, not the grown one.
+        g2 = load("digg", scale=0.05, seed=11)
+        assert load_cache_info()["hits"] == 1
+        assert g2.num_edges == m
+        assert g2.num_nodes == n
+        assert g2.pending_events == 0
+        assert g2.time[-1] == head
+
+    def test_cached_labels_are_isolated_from_in_place_edits(self):
+        _, labels = load("digg", scale=0.05, seed=12, labels=True)
+        original = labels.copy()
+        labels[:] = -1
+        _, labels2 = load("digg", scale=0.05, seed=12, labels=True)
+        np.testing.assert_array_equal(labels2, original)
 
     def test_seed_none_never_caches(self):
         g1 = load("digg", scale=0.05)

@@ -1,0 +1,105 @@
+"""StreamingReplayTask: prequential replay, fit sharing, cache isolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EHNA
+from repro.datasets import load
+from repro.tasks import (
+    LinkPredictionTask,
+    Runner,
+    StreamingReplayTask,
+    TASK_TYPES,
+)
+
+
+def small_task(**kw):
+    defaults = dict(batch_size=20, max_queries=6, num_candidates=5)
+    defaults.update(kw)
+    return StreamingReplayTask(**defaults)
+
+
+class TestStreamingReplayTask:
+    def test_registered_and_default_constructible(self):
+        assert TASK_TYPES["streaming_replay"] is StreamingReplayTask
+        assert StreamingReplayTask().name == "streaming_replay"
+
+    def test_shares_the_holdout_fit_key(self):
+        assert small_task().fit_key == LinkPredictionTask().fit_key
+
+    def test_prepare_splits_the_recent_suffix(self):
+        graph = load("digg", scale=0.05, seed=0)
+        data = small_task().prepare(graph, np.random.default_rng(0))
+        assert data.train_graph.num_edges < graph.num_edges
+        held = data.payload.held
+        assert held.size == graph.num_edges - data.train_graph.num_edges
+        # The held suffix is the most recent events.
+        assert graph.time[held].min() >= data.train_graph.time[-1]
+
+    def test_evaluate_reports_quality_and_service_stats(self):
+        graph = load("digg", scale=0.05, seed=0)
+        task = small_task()
+        rng = np.random.default_rng(0)
+        data = task.prepare(graph, rng)
+        model = EHNA(
+            dim=8, epochs=1, num_walks=2, walk_length=4, batch_size=64, seed=0
+        )
+        model.fit(data.train_graph)
+        out = task.evaluate(model, data, rng)
+        assert set(out) == {
+            "mrr",
+            "queries",
+            "events_per_sec",
+            "encode_p50_ms",
+            "encode_p99_ms",
+            "absorbs",
+        }
+        assert 0.0 < out["mrr"] <= 1.0
+        assert out["queries"] > 0
+        assert out["events_per_sec"] > 0
+        assert out["absorbs"] >= 1
+
+    def test_evaluate_does_not_mutate_the_cached_model(self):
+        graph = load("digg", scale=0.05, seed=0)
+        task = small_task()
+        rng = np.random.default_rng(0)
+        data = task.prepare(graph, rng)
+        model = EHNA(
+            dim=8, epochs=1, num_walks=2, walk_length=4, batch_size=64, seed=0
+        )
+        model.fit(data.train_graph)
+        weights = model.embedding.weight.data.copy()
+        final = model.embeddings().copy()
+        num_edges = model.graph.num_edges
+        task.evaluate(model, data, rng)
+        # The streamed events went into a clone: the fit is untouched.
+        np.testing.assert_array_equal(model.embedding.weight.data, weights)
+        np.testing.assert_array_equal(model.embeddings(), final)
+        assert model.graph.num_edges == num_edges
+        assert model.graph.time_scale is None  # no pin leaked into the fit
+
+    def test_runs_through_the_runner_sharing_one_fit(self):
+        model = EHNA(
+            dim=8, epochs=1, num_walks=2, walk_length=4, batch_size=64, seed=0
+        )
+        runner = Runner(
+            ["digg"],
+            {"EHNA": lambda: model},
+            [small_task(), LinkPredictionTask(repeats=2)],
+            scale=0.05,
+            seed=0,
+            verbose=False,
+        )
+        table = runner.run()
+        assert table.num_fits() == 1  # fit_key shared across both tasks
+        assert "streaming_replay" in table.tasks()
+
+    def test_validates_its_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingReplayTask(fraction=0.0)
+        with pytest.raises(ValueError):
+            StreamingReplayTask(batch_size=0)
+        with pytest.raises(ValueError):
+            StreamingReplayTask(train_every=0)

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.eval",
     "repro.experiments",
     "repro.tasks",
+    "repro.stream",
     "repro.utils",
 ]
 

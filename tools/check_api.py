@@ -96,12 +96,13 @@ def check_class(klass) -> list[str]:
     return problems
 
 
-#: Task names that must stay registered (the four scenarios + timing).
+#: Task names that must stay registered (the scenarios + timing + streaming).
 REQUIRED_TASKS = (
     "link_prediction",
     "reconstruction",
     "node_classification",
     "temporal_ranking",
+    "streaming_replay",
     "fit_timing",
 )
 
@@ -206,6 +207,76 @@ def check_precision_surface() -> list[str]:
     return problems
 
 
+#: The repro.stream exports the service examples and docs are built on.
+STREAM_EXPORTS = (
+    "EventBatch",
+    "EventStreamLoader",
+    "OnlineService",
+    "LatencyTracker",
+    "ThroughputTracker",
+)
+
+#: Loader/service callables the streaming loop relies on.
+LOADER_CALLABLES = ("from_graph", "__iter__", "__len__")
+SERVICE_CALLABLES = ("ingest", "absorb", "encode", "stats")
+
+#: The buffered-growth surface TemporalGraph must keep for streaming.
+GRAPH_STREAM_CALLABLES = (
+    "extend_in_place",
+    "compact",
+    "take_fresh",
+    "copy",
+    "pin_time_scale",
+)
+
+
+def check_stream_surface() -> list[str]:
+    """Violations of the streaming-layer surface (empty list = clean)."""
+    import inspect
+
+    problems = []
+    try:
+        import repro.stream as stream
+    except ImportError as exc:
+        return [f"stream: package missing: {exc}"]
+
+    for name in STREAM_EXPORTS:
+        if not hasattr(stream, name):
+            problems.append(f"stream: repro.stream does not export {name}")
+    loader = getattr(stream, "EventStreamLoader", None)
+    if loader is not None:
+        for attr in LOADER_CALLABLES:
+            if not callable(getattr(loader, attr, None)):
+                problems.append(f"EventStreamLoader: missing callable {attr}()")
+    service = getattr(stream, "OnlineService", None)
+    if service is not None:
+        for attr in SERVICE_CALLABLES:
+            if not callable(getattr(service, attr, None)):
+                problems.append(f"OnlineService: missing callable {attr}()")
+
+    from repro.graph.temporal_graph import TemporalGraph
+
+    for attr in GRAPH_STREAM_CALLABLES:
+        if not callable(getattr(TemporalGraph, attr, None)):
+            problems.append(f"TemporalGraph: missing callable {attr}()")
+    for prop in ("pending_events", "compactions", "time_scale"):
+        if not isinstance(getattr(TemporalGraph, prop, None), property):
+            problems.append(f"TemporalGraph: missing property {prop}")
+
+    # partial_fit(edges=None) is the buffered-graph absorb path the service
+    # is built on — the default must stay None.
+    from repro.base import EmbeddingMethod
+
+    sig = inspect.signature(EmbeddingMethod.partial_fit)
+    edges = sig.parameters.get("edges")
+    if edges is None or edges.default is not None:
+        problems.append(
+            "EmbeddingMethod: partial_fit must accept edges=None "
+            "(the buffered-graph absorb path)"
+        )
+    return problems
+
+
 def main() -> int:
     classes = all_method_classes()
     if len(classes) < 5:
@@ -243,6 +314,16 @@ def main() -> int:
         print(
             "api-check: precision policy complete "
             f"({len(classes)} methods accept float32, config validates)"
+        )
+    stream_problems = check_stream_surface()
+    if stream_problems:
+        failures += 1
+        for line in stream_problems:
+            print(f"api-check: {line}", file=sys.stderr)
+    else:
+        print(
+            "api-check: streaming surface complete "
+            "(loader, service, buffered graph growth, absorb path)"
         )
     return 1 if failures else 0
 

@@ -27,6 +27,11 @@ MIRRORS = [
         "examples/serving_point_in_time.py",
     ),
     (
+        "## Serving an event stream",
+        "python",
+        "examples/streaming_service.py",
+    ),
+    (
         "## Regenerating the paper's tables",
         "python",
         "examples/paper_tables.py",
