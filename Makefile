@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stream bench bench-train bench-precision bench-streaming bench-all docs-check quickstart lint api-check tables
+.PHONY: test test-stream bench bench-train bench-precision bench-streaming bench-scale bench-all docs-check quickstart lint api-check tables
 
 ## Tier-1 test suite (the gate every change must keep green).  Runs the
 ## protocol-v2 surface check and the (ruff-when-available) linter first.
@@ -44,9 +44,16 @@ bench-precision:
 bench-streaming:
 	$(PY) -m pytest benchmarks/bench_streaming.py -q -s
 
+## Million-event storage benchmark: chunked ingest into the columnar memmap
+## store, CSR build, walk engine and train step at 1M events, with peak-RSS
+## tracking.  Writes benchmarks/results/scale.txt.  Excluded from tier-1
+## (pytest.ini deselects the scale marker).
+bench-scale:
+	$(PY) -m pytest benchmarks/bench_scale.py -q -s -m scale
+
 ## Every benchmark, including full experiment regenerations (slow).
 bench-all:
-	$(PY) -m pytest benchmarks -q -s
+	$(PY) -m pytest benchmarks -q -s -m "scale or not scale"
 
 ## Fail if README code blocks drift from the example files they mirror.
 docs-check:

@@ -1,0 +1,59 @@
+"""Scale to millions of events with the columnar memmap event store.
+
+Run:  python examples/million_edge_ingest.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.generators import generate_scaled_events
+from repro.graph import TemporalGraph, ingest_edge_list
+from repro.walks import BatchedWalkEngine
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="ehna_scale_"))
+
+    # 1. Stream 1M synthetic events into an on-disk columnar store.  Events
+    #    are generated and written in 250k-event chunks, so peak memory is
+    #    one chunk of columns — the same writer handles 10M events.  Each
+    #    column lands as one .npy file next to a JSON manifest.
+    t0 = time.perf_counter()
+    store = generate_scaled_events(
+        workdir / "events", num_events=1_000_000, num_nodes=100_000, seed=0
+    )
+    print(f"ingested {store.num_events:,} events "
+          f"in {time.perf_counter() - t0:.1f}s "
+          f"({store.disk_bytes / 2**20:.0f} MiB on disk)")
+
+    # 2. Build the graph on top of the store.  Columns are memory-mapped
+    #    lazily — nothing is copied into RAM until a column is touched, and
+    #    the CSR index is built straight from the maps.
+    graph = TemporalGraph.from_storage(store)
+    print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges, "
+          f"backend={graph.storage_backend}")
+
+    # 3. Everything above the seam is backend-agnostic: the batched walk
+    #    engine (and EHNA.fit, and the streaming loader) run unchanged.
+    engine = BatchedWalkEngine(graph)
+    rng = np.random.default_rng(1)
+    starts = rng.integers(0, graph.num_nodes, size=1024)
+    anchors = np.full(1024, graph.time_span[1] + 1.0)
+    walks = engine.temporal(starts, anchors, length=8, rng=rng)
+    print(f"walked {len(walks)} temporal walks against the 1M-event history")
+
+    # 4. Real datasets take the same path: ingest_edge_list streams a text
+    #    edge list (of any size, any timestamp order) into a store without
+    #    ever materializing a Python object per row.
+    csv = workdir / "tiny.txt"
+    csv.write_text("alice bob 1.0\nbob carol 2.0\nalice carol 3.0\n")
+    tiny_store, labels = ingest_edge_list(csv, workdir / "tiny_events")
+    print(f"ingested {csv.name}: {tiny_store.num_events} events, "
+          f"labels={labels}")
+
+
+if __name__ == "__main__":
+    main()

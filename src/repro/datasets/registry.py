@@ -8,9 +8,18 @@ Digg / Yelp / Tmall / DBLP, and the task Runner resolves grid cells through
 ``load`` by name.  ``load(name, labels=True)`` additionally returns community
 labels for the node-classification task.
 
+``load(name, storage=dir)`` resolves the same dataset through the columnar
+on-disk backend: the first call generates and writes a
+:class:`~repro.storage.MemmapStorage` under ``dir`` (with provenance
+recorded in the manifest), later calls re-open it, and the returned graph
+reads its event columns from the memory-mapped store.
+
 Generation is memoized: repeated ``load`` calls with the same
-``(name, scale, seed, labels)`` — the signature every Runner/benchmark grid
-cell resolves through — return the cached graph instead of regenerating it.
+``(name, scale, seed, labels, storage backend)`` — the signature every
+Runner/benchmark grid cell resolves through — return the cached graph
+instead of regenerating it.  The backend is part of the key (``"memory"``
+vs the resolved memmap path), so a memmap-backed request can never be
+served a cloned in-memory graph or vice versa.
 Only *deterministic* requests cache (an integer seed); ``seed=None`` or a
 live ``Generator`` ask for fresh randomness and always regenerate.  Every
 ``load`` hands out an O(1) :meth:`TemporalGraph.copy` of the cached pristine
@@ -23,6 +32,7 @@ poison what the next caller receives.  ``load_cache_info`` /
 from __future__ import annotations
 
 from collections import OrderedDict
+from pathlib import Path
 
 import numpy as np
 
@@ -34,6 +44,7 @@ from repro.datasets.generators import (
     yelp_like,
 )
 from repro.graph.temporal_graph import TemporalGraph
+from repro.storage.memmap import MemmapStorage, is_store_dir
 from repro.utils.validation import check_positive
 
 #: Dataset names in the order the paper reports them (Table I).
@@ -83,7 +94,13 @@ def load_cache_clear() -> None:
     _load_stats["misses"] = 0
 
 
-def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
+def load(
+    name: str,
+    scale: float = 1.0,
+    seed=None,
+    labels: bool = False,
+    storage=None,
+):
     """Generate the named dataset at ``scale`` times its default size.
 
     Parameters
@@ -100,6 +117,14 @@ def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
         :func:`~repro.datasets.generators.community_labels` (derived from
         the generated structure, so the graph is bitwise identical to the
         ``labels=False`` one at the same seed).
+    storage:
+        ``None`` (default) keeps the graph in memory.  A directory path
+        resolves through the columnar memmap backend instead: an existing
+        event store there is re-opened (after checking its manifest
+        provenance against ``name``/``scale``/``seed``), otherwise the
+        dataset is generated once and written as a store.  Either way the
+        returned graph is ``MemmapStorage``-backed, bitwise identical to
+        the in-memory one at the same signature.
 
     Raises
     ------
@@ -107,38 +132,29 @@ def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
         If ``name`` is not registered; the message lists valid names.
     """
     check_positive("scale", scale)
+    key = name.lower()
+    store_dir = None if storage is None else Path(storage)
 
     # Deterministic requests (integer seeds) memoize on the full signature,
     # so repeated Runner/benchmark grid cells stop re-generating graphs.
+    # The storage backend is part of the key: a memmap-backed request must
+    # never be served the cloned in-memory graph (or vice versa).
     cache_key = None
     if isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
-        cache_key = (str(name).lower(), float(scale), int(seed), bool(labels))
+        backend_key = (
+            ("memory",) if store_dir is None else ("memmap", str(store_dir.resolve()))
+        )
+        cache_key = (key, float(scale), int(seed), bool(labels), backend_key)
         hit = _load_cache.get(cache_key)
         if hit is not None:
             _load_cache.move_to_end(cache_key)
             _load_stats["hits"] += 1
             return _clone(hit)
 
-    def s(value: int, minimum: int = 8) -> int:
-        return max(int(round(value * scale)), minimum)
-
-    key = name.lower()
-    if key == "digg":
-        graph = digg_like(num_users=s(400), num_edges=s(3000), seed=seed)
-    elif key == "yelp":
-        graph = yelp_like(
-            num_users=s(300), num_businesses=s(150), num_reviews=s(3000), seed=seed
-        )
-    elif key == "tmall":
-        graph = tmall_like(
-            num_users=s(300), num_items=s(120), num_purchases=s(3000), seed=seed
-        )
-    elif key == "dblp":
-        graph = dblp_like(num_authors=s(300), num_papers=s(600), seed=seed)
+    if store_dir is not None:
+        graph = _load_memmap(key, name, scale, seed, store_dir)
     else:
-        raise UnknownDatasetError(
-            f"unknown dataset {name!r}; expected one of {list(available())}"
-        )
+        graph = _generate(key, name, scale, seed)
     result = graph if not labels else (graph, community_labels(graph, seed=seed))
     if cache_key is not None:
         # Count the miss only for successful generations, so a bad dataset
@@ -151,6 +167,76 @@ def load(name: str, scale: float = 1.0, seed=None, labels: bool = False):
         # free to grow in place (the first caller included).
         return _clone(result)
     return result
+
+
+def _generate(key: str, name: str, scale: float, seed) -> TemporalGraph:
+    """Dispatch ``key`` to its generator — the single name->graph mapping
+    both the in-memory and the memmap-backed paths resolve through."""
+
+    def s(value: int, minimum: int = 8) -> int:
+        return max(int(round(value * scale)), minimum)
+
+    if key == "digg":
+        return digg_like(num_users=s(400), num_edges=s(3000), seed=seed)
+    if key == "yelp":
+        return yelp_like(
+            num_users=s(300), num_businesses=s(150), num_reviews=s(3000), seed=seed
+        )
+    if key == "tmall":
+        return tmall_like(
+            num_users=s(300), num_items=s(120), num_purchases=s(3000), seed=seed
+        )
+    if key == "dblp":
+        return dblp_like(num_authors=s(300), num_papers=s(600), seed=seed)
+    raise UnknownDatasetError(
+        f"unknown dataset {name!r}; expected one of {list(available())}"
+    )
+
+
+def _load_memmap(
+    key: str, name: str, scale: float, seed, store_dir: Path
+) -> TemporalGraph:
+    """Open (or generate-and-write) the columnar store for a dataset request.
+
+    The manifest records the generating signature; re-opening a store whose
+    provenance disagrees with the request raises instead of silently serving
+    a different dataset.
+    """
+    deterministic = isinstance(seed, (int, np.integer)) and not isinstance(seed, bool)
+    provenance = {
+        "dataset": key,
+        "scale": float(scale),
+        # Only integer seeds are reproducible signatures; a live Generator
+        # (or None) records as null, marking the store's contents as
+        # not regenerable from its manifest.
+        "seed": int(seed) if deterministic else None,
+    }
+    if is_store_dir(store_dir):
+        store = MemmapStorage(store_dir)
+        recorded = {k: store.meta.get(k) for k in provenance}
+        if recorded != provenance:
+            raise ValueError(
+                f"event store at {store_dir} was written for {recorded}, "
+                f"which does not match the requested {provenance}; point "
+                "storage= at a fresh directory or delete the stale store"
+            )
+    else:
+        if key not in PAPER_DATASETS:
+            # Fail on the bad name before creating an on-disk store for it.
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}; expected one of {list(available())}"
+            )
+        graph = _generate(key, name, scale, seed)
+        store = MemmapStorage.write(
+            store_dir,
+            graph.src,
+            graph.dst,
+            graph.time,
+            graph.weight,
+            num_nodes=graph.num_nodes,
+            meta=provenance,
+        )
+    return TemporalGraph.from_storage(store)
 
 
 def _clone(result):

@@ -1,6 +1,6 @@
-"""Temporal-graph substrate: data structure, IO and statistics."""
+"""Temporal-graph substrate: data structure, IO, ingestion and statistics."""
 
-from repro.graph.io import load_edge_list, save_edge_list
+from repro.graph.io import ingest_edge_list, load_edge_list, save_edge_list
 from repro.graph.stats import GraphStatistics, graph_statistics
 from repro.graph.temporal_graph import EdgeEvent, TemporalGraph
 
@@ -9,6 +9,7 @@ __all__ = [
     "EdgeEvent",
     "load_edge_list",
     "save_edge_list",
+    "ingest_edge_list",
     "GraphStatistics",
     "graph_statistics",
 ]

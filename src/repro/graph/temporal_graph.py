@@ -31,6 +31,18 @@ of the same events.  ``take_fresh`` hands the not-yet-absorbed event ids to
 ``EmbeddingMethod.partial_fit(None)``; ``pin_time_scale`` freezes the
 ``times01`` mapping so a growing stream head cannot silently re-scale the
 history a trained model was fitted on.
+
+**Storage backends.**  The base event columns live behind the
+:class:`~repro.storage.GraphStorage` seam: ``from_edges`` (and every
+derived graph — snapshots, splits, extensions) wraps in-memory arrays in an
+:class:`~repro.storage.ArrayStorage`, while :meth:`from_storage` builds a
+graph over any backend — in particular a columnar on-disk
+:class:`~repro.storage.MemmapStorage`, whose lazily memory-mapped columns
+feed the very same vectorized query/CSR/walk code without ever residing in
+memory at once.  Derived structures (incidence CSR, distinct CSR, pair
+index) are always in-memory regardless of backend, and *mutation
+materializes*: a compaction of buffered arrivals rebinds the graph to a
+fresh ``ArrayStorage`` holding the merged table.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.dtypes import index_dtype_for
+from repro.storage.base import ArrayStorage, GraphStorage, validate_event_columns
 from repro.utils.validation import check_fraction
 
 
@@ -63,11 +76,15 @@ class TemporalGraph:
 
     def __init__(self, num_nodes, src, dst, time, weight):
         """Wrap already validated, time-sorted edge arrays (internal)."""
-        self._n = int(num_nodes)
-        self._src = src
-        self._dst = dst
-        self._time = time
-        self._weight = weight
+        self._init_from_store(
+            int(num_nodes),
+            ArrayStorage(src, dst, time, weight, num_nodes=int(num_nodes)),
+        )
+
+    def _init_from_store(self, num_nodes: int, store: GraphStorage) -> None:
+        """Bind a storage backend and build the derived structures."""
+        self._n = num_nodes
+        self._store = store
         self._pending: list[tuple] = []  # buffered (src, dst, time, weight)
         self._pending_count = 0
         self._unabsorbed = np.empty(0, dtype=np.int64)  # compacted, unclaimed
@@ -79,6 +96,28 @@ class TemporalGraph:
         self._inc_weight = None  # lazy: per-incidence-slot edge weights
         self._distinct = None  # lazy: distinct-neighbor CSR
 
+    # -- base columns, delegated to the storage backend ----------------
+    # Every derived structure and query reads the event table through these
+    # four properties, which is what makes the graph backend-agnostic: an
+    # ArrayStorage hands back resident arrays, a MemmapStorage hands back
+    # lazily opened read-only maps, and the numpy code downstream is
+    # identical either way.
+    @property
+    def _src(self) -> np.ndarray:
+        return self._store.column("src")
+
+    @property
+    def _dst(self) -> np.ndarray:
+        return self._store.column("dst")
+
+    @property
+    def _time(self) -> np.ndarray:
+        return self._store.column("time")
+
+    @property
+    def _weight(self) -> np.ndarray:
+        return self._store.column("weight")
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -86,30 +125,14 @@ class TemporalGraph:
     def _validate_edge_arrays(src, dst, time, weight):
         """Cast and check parallel edge arrays; returns the casted tuple.
 
-        Shared by :meth:`from_edges` and :meth:`extend`.  Empty arrays are
-        allowed here (``extend`` accepts a no-op batch); ``from_edges``
+        Shared by :meth:`from_edges` and :meth:`extend`, and delegated to
+        :func:`repro.storage.validate_event_columns` — the same gate the
+        memmap ingestion writer uses, so an event is accepted or rejected
+        identically no matter which door it entered through.  Empty arrays
+        are allowed here (``extend`` accepts a no-op batch); ``from_edges``
         rejects them separately.
         """
-        src = np.asarray(src, dtype=np.int64)
-        dst = np.asarray(dst, dtype=np.int64)
-        time = np.asarray(time, dtype=np.float64)
-        if src.shape != dst.shape or src.shape != time.shape or src.ndim != 1:
-            raise ValueError("src, dst and time must be 1-D arrays of equal length")
-        if np.any(src == dst):
-            raise ValueError("self-loops are not allowed in a temporal network")
-        if not np.all(np.isfinite(time)):
-            raise ValueError("timestamps must be finite")
-        if weight is None:
-            weight = np.ones(src.size, dtype=np.float64)
-        else:
-            weight = np.asarray(weight, dtype=np.float64)
-            if weight.shape != src.shape:
-                raise ValueError("weight must match src/dst/time in length")
-            if np.any(weight <= 0) or not np.all(np.isfinite(weight)):
-                raise ValueError("edge weights must be finite and positive")
-        if np.any(src < 0) or np.any(dst < 0):
-            raise ValueError("node ids must be non-negative integers")
-        return src, dst, time, weight
+        return validate_event_columns(src, dst, time, weight)
 
     @classmethod
     def from_edges(cls, src, dst, time, weight=None, num_nodes=None) -> "TemporalGraph":
@@ -133,6 +156,42 @@ class TemporalGraph:
 
         order = np.argsort(time, kind="stable")
         return cls(num_nodes, src[order], dst[order], time[order], weight[order])
+
+    @classmethod
+    def from_storage(
+        cls, storage: GraphStorage, num_nodes=None, validate: bool = False
+    ) -> "TemporalGraph":
+        """Build a graph over an existing storage backend.
+
+        The storage's columns must already be time-sorted and validated —
+        true by construction for any store a
+        :class:`~repro.storage.MemmapStorageWriter` finalized, which is why
+        the default trusts the manifest.  ``validate=True`` re-runs the full
+        column validation plus a sortedness scan (one pass over the mapped
+        columns) for stores of unknown provenance.  ``num_nodes`` overrides
+        the storage's recorded id space to reserve headroom.
+
+        Unlike :meth:`from_edges`, no copy or re-sort happens here: the
+        graph reads the backend's columns in place, so a memmap-backed
+        graph's event table stays on disk.
+        """
+        if storage.num_events == 0:
+            raise ValueError("a temporal graph needs at least one edge")
+        n = storage.num_nodes if num_nodes is None else int(num_nodes)
+        if validate:
+            src, dst, time, _ = validate_event_columns(
+                storage.src, storage.dst, storage.time, storage.weight
+            )
+            if np.any(np.diff(time) < 0):
+                raise ValueError("storage columns are not time-sorted")
+            max_node = int(max(src.max(), dst.max()))
+            if n <= max_node:
+                raise ValueError(
+                    f"num_nodes={n} too small for max node id {max_node}"
+                )
+        graph = cls.__new__(cls)
+        graph._init_from_store(n, storage)
+        return graph
 
     def extend(
         self, src, dst, time, weight=None, num_nodes=None
@@ -248,10 +307,17 @@ class TemporalGraph:
         # Positions in the merged order: new_pos[old_position] = new id.
         new_pos = np.empty(order.size, dtype=np.int64)
         new_pos[order] = np.arange(order.size, dtype=np.int64)
-        self._src = all_src[order]
-        self._dst = all_dst[order]
-        self._time = all_time[order]
-        self._weight = all_weight[order]
+        # Mutation materializes: whatever backend held the old table (an
+        # on-disk store included), the merged table is a fresh in-memory
+        # ArrayStorage.  Rebinding (never writing into the old columns)
+        # keeps copy() snapshots and read-only memmaps intact.
+        self._store = ArrayStorage(
+            all_src[order],
+            all_dst[order],
+            all_time[order],
+            all_weight[order],
+            num_nodes=self._n,
+        )
         self._build_incidence()
         # Rebind (never mutate) the lazy structures: copies made by copy()
         # keep observing the pre-compaction arrays.
@@ -437,6 +503,17 @@ class TemporalGraph:
         return float(self._time[0]), float(self._time[-1])
 
     @property
+    def storage(self) -> GraphStorage:
+        """The backend holding the base event columns (compacted view)."""
+        self._ensure_compacted()
+        return self._store
+
+    @property
+    def storage_backend(self) -> str:
+        """Short backend label: ``"memory"`` or ``"memmap"``."""
+        return self._store.backend
+
+    @property
     def index_dtype(self) -> np.dtype:
         """Dtype of the derived index structures (CSR offsets, ids).
 
@@ -452,18 +529,18 @@ class TemporalGraph:
     def nbytes(self) -> int:
         """Memory footprint of the graph's arrays, in bytes.
 
-        Counts the edge table (``src``/``dst``/``time``/``weight``), the
-        incidence CSR, and every lazily built structure that has actually
-        been materialized (distinct CSR, pair index, scaled times, incidence
-        weights).  This is what the ``int32`` index narrowing shrinks — the
-        figure is surfaced in ``repr`` so the effect is observable.
+        Counts the edge table (``src``/``dst``/``time``/``weight``) as the
+        storage backend accounts it — resident arrays for the in-memory
+        backend, *mapped columns only* for a memmap store (whose bytes are
+        disk-backed and paged on demand) — plus the incidence CSR and every
+        lazily built structure that has actually been materialized (distinct
+        CSR, pair index, scaled times, incidence weights).  This is what the
+        ``int32`` index narrowing shrinks — the figure is surfaced in
+        ``repr`` so the effect is observable.
         """
         self._ensure_compacted()
         total = (
-            self._src.nbytes
-            + self._dst.nbytes
-            + self._time.nbytes
-            + self._weight.nbytes
+            self._store.nbytes
             + self._inc_offsets.nbytes
             + self._inc_nbr.nbytes
             + self._inc_eid.nbytes

@@ -1,0 +1,44 @@
+"""Storage backends for temporal-graph event columns.
+
+The :class:`GraphStorage` seam lets a :class:`~repro.graph.TemporalGraph`
+keep its base event table either in memory (:class:`ArrayStorage`, the
+default) or in a columnar, memory-mapped on-disk store
+(:class:`MemmapStorage` — one ``.npy`` per column under a dataset directory
+with a JSON manifest, columns mapped lazily).  Chunked ingestion goes
+through :class:`MemmapStorageWriter`; :func:`validate_event_columns` is the
+shared validation gate for both backends and the graph itself.  See
+``docs/architecture.md`` ("The storage layer") for the layout and the
+manifest format.
+"""
+
+from repro.storage.base import (
+    COLUMN_DTYPES,
+    COLUMNS,
+    ArrayStorage,
+    GraphStorage,
+    validate_event_columns,
+)
+from repro.storage.memmap import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    MemmapStorage,
+    MemmapStorageWriter,
+    StoreFormatError,
+    is_store_dir,
+)
+
+__all__ = [
+    "GraphStorage",
+    "ArrayStorage",
+    "MemmapStorage",
+    "MemmapStorageWriter",
+    "StoreFormatError",
+    "validate_event_columns",
+    "is_store_dir",
+    "COLUMNS",
+    "COLUMN_DTYPES",
+    "MANIFEST_NAME",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+]

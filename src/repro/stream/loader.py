@@ -188,6 +188,35 @@ class EventStreamLoader:
             drop_empty=drop_empty,
         )
 
+    @classmethod
+    def from_storage(
+        cls,
+        storage,
+        *,
+        batch_size: int | None = None,
+        window: float | None = None,
+        drop_empty: bool = False,
+    ) -> "EventStreamLoader":
+        """Replay a :class:`~repro.storage.GraphStorage` backend's event log.
+
+        Feeds the store's columns to the loader directly — for a
+        memory-mapped store the ``ascontiguousarray`` casts are no-ops on
+        the already contiguous maps, so batches are *views into the mapped
+        files* and replaying a 10M-event store never materializes it.  The
+        monotonicity validation still runs (one streaming pass); a store a
+        :class:`~repro.storage.MemmapStorageWriter` finalized is sorted by
+        construction and always passes.
+        """
+        return cls(
+            storage.src,
+            storage.dst,
+            storage.time,
+            storage.weight,
+            batch_size=batch_size,
+            window=window,
+            drop_empty=drop_empty,
+        )
+
     @property
     def num_events(self) -> int:
         return int(self.time.size)

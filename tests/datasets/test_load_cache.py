@@ -124,3 +124,51 @@ class TestLoadCache:
         load("digg", scale=0.05, seed=np.int64(7))
         load("digg", scale=0.05, seed=7)
         assert load_cache_info()["hits"] == 1
+
+
+class TestStorageBackendKey:
+    """The storage backend is part of the memoization key."""
+
+    def test_memmap_request_never_served_the_memory_entry(self, tmp_path):
+        g_mem = load("digg", scale=0.05, seed=3)
+        assert load_cache_info()["misses"] == 1
+        g_map = load("digg", scale=0.05, seed=3, storage=tmp_path / "s")
+        info = load_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 0
+        assert g_mem.storage_backend == "memory"
+        assert g_map.storage_backend == "memmap"
+        # Distinct backends, bitwise-identical events.
+        np.testing.assert_array_equal(g_mem.src, g_map.src)
+        np.testing.assert_array_equal(g_mem.time, g_map.time)
+
+    def test_memmap_entry_hits_and_keeps_its_backend(self, tmp_path):
+        load("digg", scale=0.05, seed=3, storage=tmp_path / "s")
+        g = load("digg", scale=0.05, seed=3, storage=tmp_path / "s")
+        assert load_cache_info()["hits"] == 1
+        assert g.storage_backend == "memmap"
+
+    def test_distinct_store_paths_are_distinct_keys(self, tmp_path):
+        load("digg", scale=0.05, seed=3, storage=tmp_path / "a")
+        load("digg", scale=0.05, seed=3, storage=tmp_path / "b")
+        info = load_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 0
+
+    def test_reopen_after_cache_clear_reads_the_store(self, tmp_path):
+        g1 = load("digg", scale=0.05, seed=3, storage=tmp_path / "s")
+        load_cache_clear()
+        g2 = load("digg", scale=0.05, seed=3, storage=tmp_path / "s")
+        assert g2.storage_backend == "memmap"
+        np.testing.assert_array_equal(g1.src, g2.src)
+
+    def test_provenance_mismatch_rejected(self, tmp_path):
+        load("digg", scale=0.05, seed=3, storage=tmp_path / "s")
+        load_cache_clear()
+        with pytest.raises(ValueError, match="does not match"):
+            load("digg", scale=0.05, seed=4, storage=tmp_path / "s")
+
+    def test_unknown_name_with_storage_writes_nothing(self, tmp_path):
+        from repro.datasets import UnknownDatasetError
+
+        with pytest.raises(UnknownDatasetError):
+            load("no-such-dataset", seed=0, storage=tmp_path / "s")
+        assert not (tmp_path / "s").exists()

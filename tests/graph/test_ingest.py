@@ -1,0 +1,162 @@
+"""Chunked edge-list ingestion and the exact save/load round trip.
+
+``ingest_edge_list`` streams a text file into the columnar on-disk store;
+these tests pin its equivalence with the in-memory ``load_edge_list`` path
+(same chunked parser, different sink) and the edge cases a multi-million-row
+ingest hits: empty files, unsorted timestamps, duplicate events, chunk
+boundaries.  The round-trip class pins the ``repr``-exact float format and
+the ``# label`` header table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    TemporalGraph,
+    ingest_edge_list,
+    load_edge_list,
+    save_edge_list,
+)
+from repro.graph.temporal_graph import TemporalGraph as TG
+from repro.storage import MemmapStorage
+
+
+def graph_of(store):
+    return TG.from_storage(store)
+
+
+class TestIngestEdgeList:
+    def test_matches_load_edge_list(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.0 0.5\n1 2 2.0 1.5\n0 2 3.0 2.5\n")
+        g_mem, labels_mem = load_edge_list(path)
+        store, labels = ingest_edge_list(path, tmp_path / "store")
+        assert labels == labels_mem
+        g = graph_of(store)
+        np.testing.assert_array_equal(g.src, g_mem.src)
+        np.testing.assert_array_equal(g.dst, g_mem.dst)
+        np.testing.assert_array_equal(g.time, g_mem.time)
+        np.testing.assert_array_equal(g.weight, g_mem.weight)
+
+    def test_empty_file_raises_and_writes_no_store(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n\n")
+        with pytest.raises(ValueError, match="no edges"):
+            ingest_edge_list(path, tmp_path / "store")
+        from repro.storage import is_store_dir
+
+        assert not is_store_dir(tmp_path / "store")
+
+    def test_unsorted_timestamps_sorted_like_from_edges(self, tmp_path):
+        path = tmp_path / "unsorted.txt"
+        path.write_text("0 1 5.0\n1 2 1.0\n2 3 3.0\n")
+        store, _ = ingest_edge_list(path, tmp_path / "store")
+        g_mem, _ = load_edge_list(path)  # from_edges stable-sorts by time
+        g = graph_of(store)
+        np.testing.assert_array_equal(g.time, g_mem.time)
+        np.testing.assert_array_equal(g.src, g_mem.src)
+
+    def test_duplicate_events_preserved(self, tmp_path):
+        path = tmp_path / "dups.txt"
+        path.write_text("0 1 2.0\n0 1 2.0\n0 1 2.0\n")
+        store, _ = ingest_edge_list(path, tmp_path / "store")
+        assert store.num_events == 3
+
+    def test_ties_keep_file_order(self, tmp_path):
+        # Events sharing a timestamp come out in file order (stable sort),
+        # matching load_edge_list/from_edges exactly.
+        path = tmp_path / "ties.txt"
+        path.write_text("0 1 2.0\n2 3 1.0\n4 5 2.0\n6 7 2.0\n")
+        store, _ = ingest_edge_list(path, tmp_path / "store")
+        g = graph_of(store)
+        np.testing.assert_array_equal(g.src, [2, 0, 4, 6])
+
+    def test_chunk_boundaries_invisible(self, tmp_path):
+        lines = [f"{i % 7} {(i % 7) + 1} {float(i)}\n" for i in range(50)]
+        path = tmp_path / "chunky.txt"
+        path.write_text("".join(lines))
+        store_small, _ = ingest_edge_list(path, tmp_path / "a", chunk_lines=3)
+        store_big, _ = ingest_edge_list(path, tmp_path / "b", chunk_lines=1000)
+        np.testing.assert_array_equal(store_small.src, store_big.src)
+        np.testing.assert_array_equal(store_small.time, store_big.time)
+
+    def test_string_labels_interned_across_chunks(self, tmp_path):
+        path = tmp_path / "named.txt"
+        path.write_text("alice bob 1.0\ncarol alice 2.0\nbob carol 3.0\n")
+        store, labels = ingest_edge_list(path, tmp_path / "store", chunk_lines=1)
+        assert labels == {"alice": 0, "bob": 1, "carol": 2}
+        g = graph_of(store)
+        np.testing.assert_array_equal(g.src, [0, 2, 1])
+
+    def test_meta_records_source(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.0\n")
+        store, _ = ingest_edge_list(path, tmp_path / "store", meta={"tag": "x"})
+        assert store.meta["source"] == str(path)
+        assert store.meta["tag"] == "x"
+
+    def test_malformed_line_keeps_location(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 1.0\n0 1 2.0 3.0 4.0\n")
+        with pytest.raises(ValueError, match=":2:"):
+            ingest_edge_list(path, tmp_path / "store")
+
+
+class TestExactRoundTrip:
+    def test_float_columns_bitwise(self, tmp_path):
+        rng = np.random.default_rng(5)
+        n = 64
+        src = rng.integers(0, 20, n)
+        dst = (src + 1 + rng.integers(0, 5, n)) % 25
+        time = np.sort(rng.uniform(0.0, 1.0, n))  # awkward decimals
+        weight = rng.uniform(1e-8, 1e8, n)
+        g = TemporalGraph.from_edges(src, dst, time, weight)
+        path = tmp_path / "exact.txt"
+        save_edge_list(g, path)
+        loaded, _ = load_edge_list(path)
+        np.testing.assert_array_equal(loaded.time, g.time)  # bitwise
+        np.testing.assert_array_equal(loaded.weight, g.weight)
+
+    def test_labels_and_isolated_nodes_round_trip(self, tmp_path):
+        g = TemporalGraph.from_edges(
+            np.array([0, 1]), np.array([1, 2]), np.array([1.0, 2.0]), num_nodes=5
+        )
+        labels = {"a": 0, "b": 1, "c": 2, "lonely": 3, "ghost": 4}
+        path = tmp_path / "labelled.txt"
+        save_edge_list(g, path, labels=labels)
+        loaded, labels_back = load_edge_list(path)
+        assert labels_back == labels
+        assert loaded.num_nodes == 5  # isolated nodes survived
+        np.testing.assert_array_equal(loaded.src, g.src)
+
+    def test_save_rejects_ambiguous_labels(self, tmp_path):
+        g = TemporalGraph.from_edges(np.array([0]), np.array([1]), np.array([1.0]))
+        with pytest.raises(ValueError, match="two names"):
+            save_edge_list(g, tmp_path / "x.txt", labels={"a": 0, "b": 0})
+        with pytest.raises(ValueError, match="whitespace"):
+            save_edge_list(g, tmp_path / "x.txt", labels={"a b": 0})
+
+    def test_label_redefinition_rejected(self, tmp_path):
+        path = tmp_path / "redef.txt"
+        path.write_text("# label 0 a\n# label 1 a\n0 1 1.0\n")
+        with pytest.raises(ValueError, match="redefined"):
+            load_edge_list(path)
+
+    def test_round_trip_through_ingest(self, tmp_path):
+        g = TemporalGraph.from_edges(
+            np.array([0, 1, 2]),
+            np.array([1, 2, 0]),
+            np.array([0.1, 0.2, 0.3]),
+            np.array([1.5, 2.5, 3.5]),
+        )
+        labels = {"x": 0, "y": 1, "z": 2}
+        path = tmp_path / "rt.txt"
+        save_edge_list(g, path, labels=labels)
+        store, labels_back = ingest_edge_list(path, tmp_path / "store")
+        assert labels_back == labels
+        back = graph_of(store)
+        np.testing.assert_array_equal(back.src, g.src)
+        np.testing.assert_array_equal(back.time, g.time)
+        np.testing.assert_array_equal(back.weight, g.weight)

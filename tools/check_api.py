@@ -25,6 +25,14 @@ Two gates, both wired into ``make test`` via ``make api-check``:
    reject unknown precision names.  This keeps a new method (or a config
    regression) from silently ignoring the policy.
 
+4. **Storage backends** — ``repro.storage`` must export the backend seam
+   (``GraphStorage``/``ArrayStorage``/``MemmapStorage``/
+   ``MemmapStorageWriter`` plus the format constants), both backends must
+   implement the column protocol, and ``TemporalGraph`` must keep the
+   ``from_storage``/``storage``/``storage_backend`` surface the memmap
+   path is built on.  This keeps a new backend (or a graph refactor) from
+   shipping half the seam.
+
 Run directly; exits non-zero listing every violation.
 """
 
@@ -277,6 +285,76 @@ def check_stream_surface() -> list[str]:
     return problems
 
 
+#: The repro.storage exports the backend seam is built on.
+STORAGE_EXPORTS = (
+    "GraphStorage",
+    "ArrayStorage",
+    "MemmapStorage",
+    "MemmapStorageWriter",
+    "StoreFormatError",
+    "validate_event_columns",
+    "is_store_dir",
+    "COLUMNS",
+    "COLUMN_DTYPES",
+    "MANIFEST_NAME",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+)
+
+#: The column protocol every backend must implement.
+BACKEND_CALLABLES = ("column",)
+BACKEND_PROPERTIES = ("src", "dst", "time", "weight", "num_events", "num_nodes")
+
+#: The graph-side surface the memmap path is built on.
+GRAPH_STORAGE_CALLABLES = ("from_storage",)
+GRAPH_STORAGE_PROPERTIES = ("storage", "storage_backend")
+
+
+def check_storage_surface() -> list[str]:
+    """Violations of the storage-backend surface (empty list = clean)."""
+    problems = []
+    try:
+        import repro.storage as storage
+    except ImportError as exc:
+        return [f"storage: package missing: {exc}"]
+
+    for name in STORAGE_EXPORTS:
+        if not hasattr(storage, name):
+            problems.append(f"storage: repro.storage does not export {name}")
+
+    for backend_name in ("ArrayStorage", "MemmapStorage"):
+        backend = getattr(storage, backend_name, None)
+        if backend is None:
+            continue
+        base = getattr(storage, "GraphStorage", object)
+        if not issubclass(backend, base):
+            problems.append(f"{backend_name}: not a GraphStorage subclass")
+        for attr in BACKEND_CALLABLES:
+            if not callable(getattr(backend, attr, None)):
+                problems.append(f"{backend_name}: missing callable {attr}()")
+        for prop in BACKEND_PROPERTIES:
+            if not isinstance(getattr(backend, prop, None), property):
+                problems.append(f"{backend_name}: missing property {prop}")
+        if not isinstance(getattr(backend, "backend", None), str):
+            problems.append(f"{backend_name}: missing backend label")
+
+    writer = getattr(storage, "MemmapStorageWriter", None)
+    if writer is not None:
+        for attr in ("append", "finalize"):
+            if not callable(getattr(writer, attr, None)):
+                problems.append(f"MemmapStorageWriter: missing callable {attr}()")
+
+    from repro.graph.temporal_graph import TemporalGraph
+
+    for attr in GRAPH_STORAGE_CALLABLES:
+        if not callable(getattr(TemporalGraph, attr, None)):
+            problems.append(f"TemporalGraph: missing callable {attr}()")
+    for prop in GRAPH_STORAGE_PROPERTIES:
+        if not isinstance(getattr(TemporalGraph, prop, None), property):
+            problems.append(f"TemporalGraph: missing property {prop}")
+    return problems
+
+
 def main() -> int:
     classes = all_method_classes()
     if len(classes) < 5:
@@ -324,6 +402,16 @@ def main() -> int:
         print(
             "api-check: streaming surface complete "
             "(loader, service, buffered graph growth, absorb path)"
+        )
+    storage_problems = check_storage_surface()
+    if storage_problems:
+        failures += 1
+        for line in storage_problems:
+            print(f"api-check: {line}", file=sys.stderr)
+    else:
+        print(
+            "api-check: storage surface complete "
+            "(backend protocol, memmap store + writer, graph seam)"
         )
     return 1 if failures else 0
 

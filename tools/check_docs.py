@@ -41,6 +41,11 @@ MIRRORS = [
         "python",
         "examples/fast_mode.py",
     ),
+    (
+        "## Scaling to millions of events",
+        "python",
+        "examples/million_edge_ingest.py",
+    ),
 ]
 
 
