@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stream bench bench-train bench-precision bench-streaming bench-scale bench-all docs-check quickstart lint api-check tables
+.PHONY: test test-stream test-faults bench bench-train bench-precision bench-streaming bench-scale bench-all docs-check quickstart lint api-check tables
 
 ## Tier-1 test suite (the gate every change must keep green).  Runs the
 ## protocol-v2 surface check and the (ruff-when-available) linter first.
@@ -16,6 +16,12 @@ test: api-check lint
 test-stream:
 	$(PY) -m pytest tests/stream tests/graph/test_extend_buffered.py \
 		tests/core/test_stream_regression.py -q -m "stress or not stress"
+
+## Crash-safety suite: the fault-injection sweep (kill the service at every
+## injection point, assert exact recovery) plus the recovery edge cases.
+## These also run in tier-1; this target is the focused inner loop.
+test-faults:
+	$(PY) -m pytest -q -m faults
 
 ## Assert every EmbeddingMethod subclass implements the v2 API surface.
 api-check:

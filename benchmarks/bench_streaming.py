@@ -1,6 +1,6 @@
-"""Streaming benchmark: amortized ingestion and online-serving latency.
+"""Streaming benchmark: amortized ingestion, WAL cost, serving latency.
 
-Two measurements, saved to ``benchmarks/results/streaming.txt``:
+Three measurements, saved to ``benchmarks/results/streaming.txt``:
 
 1. **Ingest throughput** — replay a 50k-event synthetic stream into a base
    graph two ways: the legacy per-call ``extend()`` (one full stable-merge
@@ -9,7 +9,12 @@ Two measurements, saved to ``benchmarks/results/streaming.txt``:
    events).  The amortized path must win by >=2x, and the resulting graphs
    must be bitwise identical — the speedup is bookkeeping, not semantics.
 
-2. **Serving latency while training** — drive an ``OnlineService`` over a
+2. **Durability cost** — the same amortized replay with every batch also
+   appended to a :class:`~repro.stream.wal.WriteAheadLog` first (the
+   crash-safe ingest path).  The WAL-on replay must stay within
+   ``MAX_WAL_SLOWDOWN`` of WAL-off: durability is a tax, not a cliff.
+
+3. **Serving latency while training** — drive an ``OnlineService`` over a
    trained EHNA: ingest micro-batches, absorb every few batches, and issue a
    time-anchored encode query per batch.  Reports sustained ingest
    events/sec and encode p50/p99 latency.
@@ -19,6 +24,7 @@ Run:  PYTHONPATH=src python -m pytest benchmarks/bench_streaming.py -q -s
 
 from __future__ import annotations
 
+import shutil
 import timeit
 
 import numpy as np
@@ -26,7 +32,7 @@ import numpy as np
 from repro.core import EHNA
 from repro.datasets import load
 from repro.graph import TemporalGraph
-from repro.stream import EventStreamLoader, OnlineService
+from repro.stream import EventStreamLoader, OnlineService, WriteAheadLog
 
 NUM_NODES = 2000
 BASE_EVENTS = 10_000
@@ -36,6 +42,9 @@ COMPACT_EVERY = 4096
 REPEATS = 2
 
 MIN_SPEEDUP = 2.0
+#: Durable ingest (WAL append before apply) may cost at most this factor
+#: over the WAL-off amortized path.
+MAX_WAL_SLOWDOWN = 2.0
 
 
 def synthetic_stream(seed=0):
@@ -73,7 +82,20 @@ def replay_amortized(base, batches) -> TemporalGraph:
     return g
 
 
-def test_streaming_ingest_and_latency(save_result):
+def replay_amortized_with_wal(base, batches, wal_dir) -> TemporalGraph:
+    """The crash-safe ingest path: durably log each batch, then apply it."""
+    shutil.rmtree(wal_dir, ignore_errors=True)
+    wal = WriteAheadLog(wal_dir, sync="batch")
+    g = base.copy()
+    for src, dst, time in batches:
+        wal.append(src, dst, time)
+        g.extend_in_place(src, dst, time, compact_every=COMPACT_EVERY)
+    wal.close()
+    g.compact()
+    return g
+
+
+def test_streaming_ingest_and_latency(save_result, tmp_path):
     base, batches = synthetic_stream()
 
     t_legacy = min(
@@ -83,6 +105,18 @@ def test_streaming_ingest_and_latency(save_result):
         timeit.repeat(lambda: replay_amortized(base, batches), number=1, repeat=REPEATS)
     )
     speedup = t_legacy / t_amortized
+
+    t_wal = min(
+        timeit.repeat(
+            lambda: replay_amortized_with_wal(base, batches, tmp_path / "wal"),
+            number=1,
+            repeat=REPEATS,
+        )
+    )
+    wal_slowdown = t_wal / t_amortized
+    wal_bytes = sum(
+        p.stat().st_size for p in (tmp_path / "wal").glob("wal-*.log")
+    )
 
     # Same events, same graph — bitwise (amortization must be invisible).
     legacy, amortized = replay_per_call(base, batches), replay_amortized(base, batches)
@@ -119,6 +153,14 @@ def test_streaming_ingest_and_latency(save_result):
         f"  speedup: {speedup:.1f}x  (required >= {MIN_SPEEDUP:.0f}x; "
         "graphs bitwise identical)",
         "",
+        "Durable ingest (WAL append before every apply, sync=batch):",
+        f"  WAL off: {t_amortized * 1e3:9.1f} ms   "
+        f"WAL on: {t_wal * 1e3:9.1f} ms",
+        f"  slowdown: {wal_slowdown:.2f}x  "
+        f"(required <= {MAX_WAL_SLOWDOWN:.0f}x; "
+        f"{wal_bytes / 1e6:.1f} MB logged across "
+        f"{len(list((tmp_path / 'wal').glob('wal-*.log')))} segments)",
+        "",
         f"Online service (EHNA, digg x0.3, {stats['events_ingested']} streamed "
         f"events, absorb every 4 batches):",
         f"  ingest throughput: {stats['ingest_events_per_sec']:,.0f} events/s",
@@ -133,6 +175,10 @@ def test_streaming_ingest_and_latency(save_result):
     assert speedup >= MIN_SPEEDUP, (
         f"amortized ingest only {speedup:.2f}x over per-call extend "
         f"(required >= {MIN_SPEEDUP}x)"
+    )
+    assert wal_slowdown <= MAX_WAL_SLOWDOWN, (
+        f"WAL-enabled ingest is {wal_slowdown:.2f}x slower than WAL-off "
+        f"(budget <= {MAX_WAL_SLOWDOWN}x)"
     )
     assert stats["encode_p99_ms"] >= stats["encode_p50_ms"] > 0.0
     assert stats["staleness_events"] == 0

@@ -220,14 +220,19 @@ class EmbeddingMethod(abc.ABC):
         """
         return getattr(self, "precision", None) or "float64"
 
-    def save(self, path) -> Path:
+    def save(self, path, watermark: dict | None = None) -> Path:
         """Persist config, RNG state, graph and parameters to a ``.npz``.
 
         The archive carries a versioned header (see
         :mod:`repro.utils.checkpoint`) that records the precision policy the
-        model was trained under; :meth:`load` refuses mismatched versions
-        and precision-inconsistent archives with clear errors.  Returns the
-        resolved path.
+        model was trained under plus a CRC32 checksum per array, and is
+        **published atomically** (temp file + ``os.replace``), so a crash
+        mid-save leaves the previous checkpoint intact; :meth:`load` refuses
+        mismatched versions, failed checksums and precision-inconsistent
+        archives with clear errors.  ``watermark`` optionally embeds a
+        stream-recovery cursor (see
+        :meth:`repro.stream.OnlineService.checkpoint`, which is how online
+        services snapshot themselves).  Returns the resolved path.
         """
         arrays, meta = self._state_dict()
         arrays = dict(arrays)
@@ -247,6 +252,7 @@ class EmbeddingMethod(abc.ABC):
             arrays,
             meta,
             precision=self._precision_name(),
+            watermark=watermark,
         )
 
     @classmethod

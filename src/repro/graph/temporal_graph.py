@@ -334,6 +334,30 @@ class TemporalGraph:
         self._compactions += 1
         return fresh
 
+    def restore_fresh_tail(self, count: int) -> "TemporalGraph":
+        """Re-mark the newest ``count`` events as not yet absorbed.
+
+        The crash-recovery hook behind
+        :meth:`repro.stream.OnlineService.recover`: a recovered graph is
+        rebuilt from checkpoint arrays, which lose the in-memory
+        "ingested but unabsorbed" bookkeeping — but the online-service
+        ingest path only ever appends at the stream head, so the
+        unabsorbed events are exactly the newest ``count`` rows of the
+        time-sorted table.  Overwrites (never extends) the unclaimed set;
+        returns self.
+        """
+        self._ensure_compacted()
+        count = int(count)
+        if count < 0 or count > self._src.size:
+            raise ValueError(
+                f"cannot mark {count} fresh events on a graph with "
+                f"{self._src.size} events"
+            )
+        self._unabsorbed = np.arange(
+            self._src.size - count, self._src.size, dtype=np.int64
+        )
+        return self
+
     def take_fresh(self) -> np.ndarray:
         """Claim the event ids appended since the last ``take_fresh``.
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -58,6 +59,17 @@ FORMAT_VERSION = 1
 DEFAULT_CHUNK_EVENTS = 262_144
 
 
+#: Validation levels for :class:`MemmapStorage` — ``"basic"`` checks the
+#: manifest and each column's dtype/shape on first access; ``"deep"``
+#: additionally verifies each column's bytes against the CRC32 digest the
+#: manifest recorded at write time.
+VALIDATE_LEVELS = ("basic", "deep")
+
+#: Temp-file suffixes an interrupted :meth:`MemmapStorageWriter.finalize`
+#: can leave behind; their presence marks a crashed, unfinished store.
+_SCRATCH_PATTERNS = ("*.spill", "*.npy.tmp", "*.sorted.tmp.npy", "manifest.json.tmp")
+
+
 class StoreFormatError(ValueError):
     """The directory is not a readable event store (bad manifest/format)."""
 
@@ -67,6 +79,37 @@ def is_store_dir(path) -> bool:
     return (Path(path) / MANIFEST_NAME).is_file()
 
 
+def _scratch_files(path: Path) -> list[str]:
+    """Writer temp files left in ``path`` (evidence of a crashed finalize)."""
+    found: set[str] = set()
+    for pattern in _SCRATCH_PATTERNS:
+        found.update(p.name for p in path.glob(pattern))
+    return sorted(found)
+
+
+def _crc32_column(arr: np.ndarray) -> int:
+    """CRC32 of a (possibly memory-mapped) column, in bounded blocks."""
+    crc = 0
+    for lo in range(0, arr.size, DEFAULT_CHUNK_EVENTS):
+        block = np.ascontiguousarray(arr[lo : lo + DEFAULT_CHUNK_EVENTS])
+        crc = zlib.crc32(block.view(np.uint8), crc)
+    return crc
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort fsync of a directory entry (rename durability)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 class MemmapStorage(GraphStorage):
     """Read a columnar event-store directory with lazy memory-mapped columns.
 
@@ -74,14 +117,35 @@ class MemmapStorage(GraphStorage):
     ``np.load(mmap_mode="r")`` on first access and cached (see
     :attr:`~repro.storage.base.GraphStorage.loaded_columns`).  The mapped
     arrays are read-only — the store is an immutable event log.
+
+    ``validate="deep"`` additionally checks each column's bytes against the
+    CRC32 digest the writer recorded in the manifest, on the column's first
+    access — a single flipped byte anywhere in a ``.npy`` file surfaces as
+    :class:`StoreFormatError` naming the damaged column instead of silently
+    corrupt embeddings.  Deep validation pages the whole column in once;
+    the default ``"basic"`` keeps opening free of I/O beyond the manifest.
     """
 
     backend = "memmap"
 
-    def __init__(self, path):
+    def __init__(self, path, validate: str = "basic"):
+        if validate not in VALIDATE_LEVELS:
+            raise ValueError(
+                f"unknown validate level {validate!r}; pick one of "
+                f"{VALIDATE_LEVELS}"
+            )
+        self.validate = validate
         self.path = Path(path)
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.is_file():
+            scratch = _scratch_files(self.path)
+            if scratch:
+                raise StoreFormatError(
+                    f"{self.path} holds an unfinished event store: no "
+                    f"{MANIFEST_NAME}, but writer temp files remain "
+                    f"({', '.join(scratch)}) — a finalize crashed before "
+                    "publishing; re-run the ingestion to rebuild the store"
+                )
             raise StoreFormatError(
                 f"{self.path} is not an event store: missing {MANIFEST_NAME}"
             )
@@ -119,6 +183,21 @@ class MemmapStorage(GraphStorage):
                     f"{self.path / spec['file']}: {col.size} rows, manifest "
                     f"says {self.num_events}"
                 )
+            if self.validate == "deep":
+                recorded = spec.get("crc32")
+                if recorded is None:
+                    raise StoreFormatError(
+                        f"{self.path}: column {name!r} has no CRC32 digest "
+                        "in the manifest — the store predates digests; "
+                        "rewrite it (or open with validate='basic')"
+                    )
+                actual = _crc32_column(col)
+                if actual != int(recorded):
+                    raise StoreFormatError(
+                        f"{self.path / spec['file']}: column {name!r} fails "
+                        f"its checksum (recorded CRC32 {int(recorded)}, "
+                        f"found {actual}) — the file is corrupt"
+                    )
             self._mapped[name] = col
         return col
 
@@ -202,6 +281,7 @@ class MemmapStorageWriter:
         self._last_time = -np.inf
         self._sorted = True
         self._finalized = False
+        self._checksums: dict[str, int] = {}
 
     @property
     def num_events(self) -> int:
@@ -225,7 +305,17 @@ class MemmapStorageWriter:
         return self
 
     def finalize(self) -> MemmapStorage:
-        """Seal the store: npy-wrap the columns, sort if needed, write manifest."""
+        """Seal the store: npy-wrap the columns, sort if needed, write manifest.
+
+        Finalize is **crash-safe**: every column is sealed to a ``.npy.tmp``
+        sibling and renamed into place, and the manifest — the only thing
+        that makes the directory a store — is published last, atomically
+        (temp + ``os.replace`` + directory fsync).  A crash at any earlier
+        instant leaves a directory with no manifest plus writer temp files,
+        which :class:`MemmapStorage` reports as an unfinished store naming
+        the leftovers instead of mapping half-written columns.  The manifest
+        records each column's CRC32 (verified under ``validate="deep"``).
+        """
         if self._finalized:
             raise RuntimeError("writer is already finalized")
         for fh in self._spills.values():
@@ -256,21 +346,33 @@ class MemmapStorageWriter:
                 name: {
                     "file": f"{name}.npy",
                     "dtype": COLUMN_DTYPES[name].str,
+                    "crc32": self._checksums[name],
                 }
                 for name in COLUMNS
             },
             "meta": self._meta,
         }
         tmp = self.path / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+        with tmp.open("w") as fh:
+            fh.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, self.path / MANIFEST_NAME)  # manifest appears atomically
+        _fsync_directory(self.path)
         return MemmapStorage(self.path)
 
     def _seal_column(self, name: str) -> None:
-        """Turn a raw spill file into ``<name>.npy`` (header + byte copy)."""
+        """Turn a raw spill file into ``<name>.npy`` via a temp sibling.
+
+        The header + byte copy goes to ``<name>.npy.tmp`` (CRC32 of the
+        data bytes accumulated along the way), is fsynced, and only then
+        renamed to its final name — the published ``.npy`` is always whole.
+        """
         spill = self.path / f"{name}.spill"
         dest = self.path / f"{name}.npy"
-        with dest.open("wb") as out:
+        tmp = self.path / f"{name}.npy.tmp"
+        crc = 0
+        with tmp.open("wb") as out:
             npy_format.write_array_header_1_0(
                 out,
                 {
@@ -280,7 +382,16 @@ class MemmapStorageWriter:
                 },
             )
             with spill.open("rb") as src:
-                shutil.copyfileobj(src, out)
+                while True:
+                    block = src.read(1 << 20)
+                    if not block:
+                        break
+                    crc = zlib.crc32(block, crc)
+                    out.write(block)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, dest)
+        self._checksums[name] = crc
         spill.unlink()
 
     def _sort_by_time(self) -> None:
@@ -289,6 +400,8 @@ class MemmapStorageWriter:
         The permutation itself (one int64 per event) is the only full-length
         in-memory array; column data moves through fixed-size blocks between
         the existing map and a fresh memmap, then replaces the original file.
+        The recorded checksums are recomputed over the sorted bytes as the
+        blocks stream through.
         """
         time_mm = np.load(self.path / "time.npy", mmap_mode="r")
         order = np.argsort(time_mm, kind="stable")
@@ -301,9 +414,13 @@ class MemmapStorageWriter:
             dst_mm = npy_format.open_memmap(
                 tmp_path, mode="w+", dtype=COLUMN_DTYPES[name], shape=(n,)
             )
+            crc = 0
             for lo in range(0, n, DEFAULT_CHUNK_EVENTS):
                 hi = min(lo + DEFAULT_CHUNK_EVENTS, n)
-                dst_mm[lo:hi] = src_mm[order[lo:hi]]
+                block = src_mm[order[lo:hi]]
+                dst_mm[lo:hi] = block
+                crc = zlib.crc32(np.ascontiguousarray(block).view(np.uint8), crc)
             dst_mm.flush()
             del src_mm, dst_mm
             os.replace(tmp_path, src_path)
+            self._checksums[name] = crc

@@ -28,17 +28,37 @@ next absorb (which grows the embedding table).
 The service enforces stream order at the ingest boundary: a batch reaching
 back before the newest ingested event is rejected, matching the loader's
 monotonicity contract end to end.
+
+**Durability.** With ``wal_dir=`` every accepted batch is logged to a
+:class:`~repro.stream.wal.WriteAheadLog` *before* it touches the graph, and
+with ``checkpoint_every=`` the service periodically snapshots the model
+atomically (:meth:`checkpoint`), embedding a **stream watermark** — the
+recovery cursor — in the archive header and pruning WAL segments the
+snapshot made redundant.  :meth:`recover` inverts the pair: reload the
+newest checkpoint, restore every service counter from the watermark, and
+replay the WAL suffix past it through the ordinary ingest/absorb loop.
+Because the checkpoint also carries the training RNG state, the recovered
+service is *exactly* the pre-crash one: bitwise-equal event table and
+graph, and encode answers identical (within the precision policy) to a run
+that never crashed.  Ingest itself is atomic — the whole batch is validated
+before the WAL or the graph see any of it, so a poisoned batch leaves zero
+side effects.
 """
 
 from __future__ import annotations
 
 import time as _time
+from pathlib import Path
 
 import numpy as np
 
 from repro.base import EmbeddingMethod, parse_edge_batch
+from repro.storage.base import validate_event_columns
 from repro.stream.loader import EventBatch
 from repro.stream.metrics import LatencyTracker, ThroughputTracker
+from repro.stream.wal import DEFAULT_SEGMENT_BYTES, WALError, WriteAheadLog
+from repro.utils import faults
+from repro.utils.checkpoint import CheckpointError, load_checkpoint
 from repro.utils.validation import check_positive
 
 
@@ -64,6 +84,21 @@ class OnlineService:
         Pin the graph's scaled-time mapping to its current span (see the
         staleness model above).  Default on; pass ``False`` to keep the
         legacy live rescaling.
+    wal_dir:
+        Directory for the write-ahead log.  When set, every batch is
+        durably logged before it is applied; ``None`` (default) disables
+        logging.  Pointing a fresh service at a non-empty WAL directory is
+        rejected on the first ingest — recover from it instead.
+    wal_segment_bytes / wal_sync:
+        Segment-rotation threshold and fsync policy, passed through to
+        :class:`~repro.stream.wal.WriteAheadLog`.
+    checkpoint_every:
+        When set, :meth:`checkpoint` runs automatically after every
+        ``checkpoint_every`` ingested batches (requires
+        ``checkpoint_path``).
+    checkpoint_path:
+        Where :meth:`checkpoint` publishes its atomic snapshot (a ``.npz``
+        suffix is appended when missing).
     """
 
     def __init__(
@@ -74,6 +109,11 @@ class OnlineService:
         train_every: int | None = None,
         epochs: int = 1,
         pin_time_scale: bool = True,
+        wal_dir=None,
+        wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        wal_sync: str = "batch",
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
     ):
         if model.graph is None:
             raise RuntimeError(
@@ -83,10 +123,35 @@ class OnlineService:
         check_positive("epochs", epochs)
         if train_every is not None:
             check_positive("train_every", train_every)
+        if checkpoint_every is not None:
+            check_positive("checkpoint_every", checkpoint_every)
+            if checkpoint_path is None:
+                raise ValueError(
+                    "checkpoint_every requires checkpoint_path: automatic "
+                    "snapshots need somewhere to publish"
+                )
         self.model = model
         self.compact_every = int(compact_every)
         self.train_every = None if train_every is None else int(train_every)
         self.epochs = int(epochs)
+        self.checkpoint_every = (
+            None if checkpoint_every is None else int(checkpoint_every)
+        )
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.wal_segment_bytes = int(wal_segment_bytes)
+        self.wal_sync = str(wal_sync)
+        self._wal = (
+            None
+            if wal_dir is None
+            else WriteAheadLog(
+                wal_dir,
+                segment_max_bytes=self.wal_segment_bytes,
+                sync=self.wal_sync,
+            )
+        )
+        self._replaying = False
         if pin_time_scale and model.graph.time_scale is None:
             model.graph.pin_time_scale()
         # The stream head: the graph's edge table is time-sorted, so the
@@ -98,6 +163,7 @@ class OnlineService:
         self._absorbs = 0
         self._since_absorb = 0
         self._batches_since_absorb = 0
+        self._checkpoints = 0
         self.ingest_throughput = ThroughputTracker()
         self.encode_latency = LatencyTracker()
         self.absorb_seconds = 0.0
@@ -112,6 +178,11 @@ class OnlineService:
         """Events ingested since the last absorb — invisible to queries."""
         return self._since_absorb
 
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The write-ahead log, or None when durability is off."""
+        return self._wal
+
     # ------------------------------------------------------------------
     # the streaming loop
     # ------------------------------------------------------------------
@@ -122,11 +193,18 @@ class OnlineService:
         form :func:`repro.base.parse_edge_batch` accepts.  Empty batches are
         a no-op (but still count toward the ``train_every`` schedule, so a
         quiet time window can trigger a scheduled absorb).
+
+        Ingest is **atomic**: the entire batch is validated — column
+        shapes, event invariants, stream order — before the WAL or the
+        graph see any of it, so a rejected batch leaves the service bitwise
+        unchanged.  With a WAL configured the validated batch is durably
+        logged *before* it is applied; a crash between the two replays the
+        batch on recovery instead of losing it.
         """
         if isinstance(events, EventBatch):
             events = events.columns()
         src, dst, time, weight = parse_edge_batch(events)
-        time = np.asarray(time, dtype=np.float64)
+        src, dst, time, weight = validate_event_columns(src, dst, time, weight)
         if time.size:
             t_min = float(time.min())
             if t_min < self._head:
@@ -136,11 +214,16 @@ class OnlineService:
                     "service only accepts events at or after the newest "
                     "ingested event"
                 )
+        faults.crash_point("service.ingest.validated")
+        if self._wal is not None and not self._replaying:
+            self._wal.append(src, dst, time, weight, seq=self._batches + 1)
+        if time.size:
             t0 = _time.perf_counter()
             self.graph.extend_in_place(
                 src, dst, time, weight, compact_every=self.compact_every
             )
             self.ingest_throughput.add(time.size, _time.perf_counter() - t0)
+            faults.crash_point("service.ingest.applied")
             self._head = float(time.max())
             self._ingested += time.size
             self._since_absorb += time.size
@@ -151,6 +234,12 @@ class OnlineService:
             and self._batches_since_absorb >= self.train_every
         ):
             self.absorb()
+        if (
+            self.checkpoint_every is not None
+            and not self._replaying
+            and self._batches % self.checkpoint_every == 0
+        ):
+            self.checkpoint()
         return self
 
     def absorb(self, epochs: int | None = None) -> "OnlineService":
@@ -161,8 +250,10 @@ class OnlineService:
         trains ``epochs`` incremental epochs on exactly those.  A zero-event
         absorb is a no-op (nothing trains, no state changes).
         """
+        faults.crash_point("service.absorb.begin")
         t0 = _time.perf_counter()
         self.model.partial_fit(epochs=self.epochs if epochs is None else epochs)
+        faults.crash_point("service.absorb.trained")
         self.absorb_seconds += _time.perf_counter() - t0
         if self._since_absorb:
             self._absorbs += 1
@@ -183,6 +274,142 @@ class OnlineService:
         return out
 
     # ------------------------------------------------------------------
+    # durability: checkpoint and recover
+    # ------------------------------------------------------------------
+    def _watermark(self) -> dict:
+        """The recovery cursor embedded in a checkpoint header.
+
+        Records everything :meth:`recover` needs that the model archive
+        itself does not carry: the stream position (batch/event counts, the
+        head time), the absorb bookkeeping (staleness, schedule phase), the
+        pinned time scale (``model.save`` persists the graph's *events*,
+        not its scaled-time pin), and the service configuration so recovery
+        rebuilds an identically-behaving loop.
+        """
+        scale = self.graph.time_scale
+        return {
+            "batches": self._batches,
+            "events": self._ingested,
+            "absorbed_events": self._ingested - self._since_absorb,
+            "staleness": self._since_absorb,
+            "batches_since_absorb": self._batches_since_absorb,
+            "absorbs": self._absorbs,
+            "head_time": self._head,
+            "time_scale": None if scale is None else [float(s) for s in scale],
+            "service": {
+                "compact_every": self.compact_every,
+                "train_every": self.train_every,
+                "epochs": self.epochs,
+                "checkpoint_every": self.checkpoint_every,
+                "wal_segment_bytes": self.wal_segment_bytes,
+                "wal_sync": self.wal_sync,
+            },
+        }
+
+    def checkpoint(self, path=None) -> Path:
+        """Atomically snapshot the model with this service's watermark.
+
+        Publishes via :meth:`repro.base.EmbeddingMethod.save` (temp file +
+        ``os.replace``; a crash mid-save leaves the previous snapshot
+        intact), then rotates the WAL and prunes every segment the snapshot
+        made redundant — recovery only ever needs the WAL suffix past the
+        watermark.  Returns the published path.
+        """
+        target = self.checkpoint_path if path is None else Path(path)
+        if target is None:
+            raise ValueError(
+                "no checkpoint path: pass path= or construct the service "
+                "with checkpoint_path="
+            )
+        faults.crash_point("service.checkpoint.begin")
+        published = self.model.save(target, watermark=self._watermark())
+        if path is None:
+            # Pin the resolved (.npz-suffixed) path so later snapshots
+            # replace this one instead of writing a sibling.
+            self.checkpoint_path = published
+        faults.crash_point("service.checkpoint.published")
+        if self._wal is not None:
+            self._wal.rotate()
+            self._wal.prune(self._batches)
+        self._checkpoints += 1
+        return published
+
+    @classmethod
+    def recover(
+        cls, checkpoint_path, wal_dir=None, **overrides
+    ) -> "OnlineService":
+        """Rebuild the exact pre-crash service from checkpoint + WAL.
+
+        Loads the checkpoint (verifying its checksums), restores every
+        counter from the embedded watermark, re-pins the time scale the
+        original service ran under, re-marks the checkpoint's unabsorbed
+        tail, then replays every WAL record past the watermark through the
+        ordinary ingest loop (``train_every`` absorbs fire exactly as they
+        originally did; the restored RNG makes them deterministic).  The
+        result is indistinguishable from a service that never crashed:
+        bitwise-equal event table and graph, identical encode answers
+        within the precision policy.
+
+        ``overrides`` replace watermark-recorded service settings
+        (``train_every=None`` to stop auto-absorbing, a different
+        ``checkpoint_every``, …).  ``checkpoint_path`` for *future*
+        snapshots defaults to the recovered archive itself.
+        """
+        ck = load_checkpoint(checkpoint_path)
+        wm = ck.watermark
+        if wm is None:
+            raise CheckpointError(
+                f"{checkpoint_path} is a plain model checkpoint with no "
+                "stream watermark; only OnlineService.checkpoint() output "
+                "is recoverable (wrap the model in a fresh service instead)"
+            )
+        model = EmbeddingMethod.load(checkpoint_path)
+        scale = wm.get("time_scale")
+        if scale is not None:
+            model.graph.pin_time_scale(*scale)
+        cfg = dict(wm.get("service") or {})
+        ckpt_path = overrides.pop("checkpoint_path", Path(checkpoint_path))
+        cfg.update(overrides)
+        service = cls(
+            model,
+            pin_time_scale=scale is not None,
+            wal_dir=wal_dir,
+            checkpoint_path=ckpt_path,
+            **cfg,
+        )
+        service._head = float(wm["head_time"])
+        service._ingested = int(wm["events"])
+        service._batches = int(wm["batches"])
+        service._absorbs = int(wm["absorbs"])
+        service._since_absorb = int(wm["staleness"])
+        service._batches_since_absorb = int(wm["batches_since_absorb"])
+        if service._since_absorb:
+            # Ingest only appends at the stream head, so the checkpoint's
+            # unabsorbed events are exactly the newest rows of the table.
+            model.graph.restore_fresh_tail(service._since_absorb)
+        if service._wal is not None:
+            wal = service._wal
+            if wal.first_seq is not None and wal.first_seq > service._batches + 1:
+                raise WALError(
+                    f"cannot recover: the WAL begins at batch {wal.first_seq} "
+                    f"but the checkpoint's watermark is batch "
+                    f"{service._batches} — the segments in between were "
+                    "pruned by a newer checkpoint; recover from that one"
+                )
+            service._replaying = True
+            try:
+                for record in wal.records(start_seq=service._batches + 1):
+                    service.ingest(record.columns())
+            finally:
+                service._replaying = False
+            if wal.last_seq < service._batches:
+                # The checkpoint pruned the whole log: re-anchor its
+                # sequence counter so post-recovery appends continue the
+                # stream instead of restarting at 1.
+                wal.fast_forward(service._batches)
+        return service
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -201,7 +428,15 @@ class OnlineService:
             "encode_p50_ms": encode["p50_ms"],
             "encode_p99_ms": encode["p99_ms"],
             "encode_mean_ms": encode["mean_ms"],
+            "checkpoints": self._checkpoints,
+            "wal_segments": 0 if self._wal is None else len(self._wal.segment_paths),
+            "wal_disk_bytes": 0 if self._wal is None else self._wal.disk_bytes,
         }
+
+    def close(self) -> None:
+        """Release the WAL's open segment handle (idempotent)."""
+        if self._wal is not None:
+            self._wal.close()
 
     def __repr__(self) -> str:
         return (

@@ -1,13 +1,15 @@
 """Shared utilities: RNG handling, alias sampling, timing, validation,
-checkpoint archives."""
+checkpoint archives, fault injection."""
 
 from repro.utils.alias import AliasTable, PackedAliasTables, build_alias_tables
 from repro.utils.checkpoint import (
     Checkpoint,
     CheckpointError,
+    array_checksum,
     load_checkpoint,
     save_checkpoint,
 )
+from repro.utils.faults import InjectedCrash
 from repro.utils.rng import ensure_rng, spawn_rng
 from repro.utils.timers import Timer
 from repro.utils.validation import (
@@ -22,6 +24,8 @@ __all__ = [
     "build_alias_tables",
     "Checkpoint",
     "CheckpointError",
+    "InjectedCrash",
+    "array_checksum",
     "load_checkpoint",
     "save_checkpoint",
     "ensure_rng",

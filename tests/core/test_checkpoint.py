@@ -191,3 +191,109 @@ class TestHeaderValidation:
         np.savez(path, **payload)
         with pytest.raises(CheckpointError, match="shape"):
             EHNA.load(path)
+
+
+class TestDurability:
+    """Atomic publish, per-array checksums, the stream watermark."""
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        path = save_checkpoint(
+            tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(4)}, {}
+        )
+        assert path.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_crashed_save_keeps_the_previous_checkpoint(self, tmp_path):
+        from repro.utils import faults
+        from repro.utils.faults import InjectedCrash
+
+        old = np.arange(4)
+        path = save_checkpoint(tmp_path / "m.npz", "EHNA", {}, {"a": old}, {})
+        with faults.inject("checkpoint.write", byte_limit=64):
+            with pytest.raises(InjectedCrash):
+                save_checkpoint(path, "EHNA", {}, {"a": np.arange(9)}, {})
+        np.testing.assert_array_equal(load_checkpoint(path).arrays["a"], old)
+
+    def test_crash_before_publish_keeps_the_previous_checkpoint(self, tmp_path):
+        from repro.utils import faults
+        from repro.utils.faults import InjectedCrash
+
+        old = np.arange(4)
+        path = save_checkpoint(tmp_path / "m.npz", "EHNA", {}, {"a": old}, {})
+        with faults.inject("checkpoint.before_publish"):
+            with pytest.raises(InjectedCrash):
+                save_checkpoint(path, "EHNA", {}, {"a": np.arange(9)}, {})
+        np.testing.assert_array_equal(load_checkpoint(path).arrays["a"], old)
+
+    def test_flipped_payload_byte_fails_its_checksum(self, tmp_path):
+        # Rewrite the archive with one array's bytes perturbed but the
+        # recorded header (and its checksums) intact — only the per-array
+        # CRC can catch this.
+        path = save_checkpoint(
+            tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(64)}, {}
+        )
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["a"] = payload["a"].copy()
+        payload["a"][17] ^= 1
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="'a' fails its checksum"):
+            load_checkpoint(path)
+
+    def test_removed_array_detected_via_manifest(self, tmp_path):
+        path = save_checkpoint(
+            tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(4), "b": np.ones(2)}, {}
+        )
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        del payload["b"]
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="checksum manifest"):
+            load_checkpoint(path)
+
+    def test_verification_can_be_skipped(self, tmp_path):
+        path = save_checkpoint(
+            tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(64)}, {}
+        )
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {name: archive[name] for name in archive.files}
+        payload["a"] = payload["a"].copy()
+        payload["a"][17] ^= 1
+        np.savez(path, **payload)
+        ck = load_checkpoint(path, verify=False)
+        assert ck.arrays["a"][17] == 16
+
+    def test_truncated_archive_is_a_clear_error(self, tmp_path):
+        path = save_checkpoint(
+            tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(512)}, {}
+        )
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="cannot read checkpoint"):
+            load_checkpoint(path)
+
+    def test_watermark_roundtrips(self, tmp_path):
+        wm = {"batches": 7, "head_time": 12.5, "service": {"train_every": 2}}
+        path = save_checkpoint(
+            tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(4)}, {}, watermark=wm
+        )
+        assert load_checkpoint(path).watermark == wm
+
+    def test_watermark_defaults_to_none(self, tmp_path):
+        path = save_checkpoint(tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(4)}, {})
+        assert load_checkpoint(path).watermark is None
+
+    def test_reserved_array_name_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="reserved"):
+            save_checkpoint(
+                tmp_path / "m.npz", "EHNA", {},
+                {"__checkpoint_header__": np.zeros(1)}, {},
+            )
+
+    def test_non_json_watermark_rejected_before_writing(self, tmp_path):
+        with pytest.raises(CheckpointError, match="JSON"):
+            save_checkpoint(
+                tmp_path / "m.npz", "EHNA", {}, {"a": np.arange(4)}, {},
+                watermark={"bad": object()},
+            )
+        assert not (tmp_path / "m.npz").exists()

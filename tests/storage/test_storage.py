@@ -255,3 +255,97 @@ class TestMemmapStorageWriter:
         writer.append([0, 7], [3, 1], [1.0, 2.0])
         store = writer.finalize()
         assert store.num_nodes == 8
+
+
+class TestDeepValidation:
+    """Per-column CRC32 digests, verified under validate='deep'."""
+
+    def write_store(self, tmp_path, sort=False):
+        src, dst, time, weight = small_columns(n=32)
+        if sort:
+            time = time[::-1].copy()  # force the finalize-time sort pass
+        return MemmapStorage.write(tmp_path / "s", src, dst, time, weight).path
+
+    def test_manifest_records_a_digest_per_column(self, tmp_path):
+        path = self.write_store(tmp_path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        for name in COLUMNS:
+            assert isinstance(manifest["columns"][name]["crc32"], int)
+
+    @pytest.mark.parametrize("sorted_at_finalize", [False, True])
+    def test_deep_validation_passes_on_a_clean_store(
+        self, tmp_path, sorted_at_finalize
+    ):
+        path = self.write_store(tmp_path, sort=sorted_at_finalize)
+        store = MemmapStorage(path, validate="deep")
+        for name in COLUMNS:
+            store.column(name)  # must not raise
+
+    @pytest.mark.parametrize("column", COLUMNS)
+    def test_one_flipped_byte_names_the_column(self, tmp_path, column):
+        path = self.write_store(tmp_path)
+        target = path / f"{column}.npy"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF  # a data byte: headers end well before the tail
+        target.write_bytes(bytes(blob))
+        store = MemmapStorage(path, validate="deep")
+        with pytest.raises(StoreFormatError, match=f"column {column!r}"):
+            store.column(column)
+
+    def test_basic_validation_skips_the_digest(self, tmp_path):
+        path = self.write_store(tmp_path)
+        target = path / "dst.npy"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        MemmapStorage(path).column("dst")  # basic: dtype/shape only
+
+    def test_missing_digest_under_deep_is_an_error(self, tmp_path):
+        path = self.write_store(tmp_path)
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        del manifest["columns"]["time"]["crc32"]
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        store = MemmapStorage(path, validate="deep")
+        with pytest.raises(StoreFormatError, match="no CRC32 digest"):
+            store.column("time")
+
+    def test_unknown_validate_level_rejected(self, tmp_path):
+        path = self.write_store(tmp_path)
+        with pytest.raises(ValueError, match="validate level"):
+            MemmapStorage(path, validate="paranoid")
+
+
+class TestCrashSafeFinalize:
+    def test_interrupted_finalize_is_reported_not_mapped(self, tmp_path):
+        writer = MemmapStorageWriter(tmp_path / "s")
+        writer.append(*small_columns())
+        # Simulate a crash before finalize: spill files exist, no manifest.
+        with pytest.raises(StoreFormatError, match=r"\.spill"):
+            MemmapStorage(tmp_path / "s")
+
+    def test_leftover_seal_temp_is_reported(self, tmp_path):
+        path = MemmapStorage.write(tmp_path / "s", *small_columns()).path
+        (path / MANIFEST_NAME).unlink()
+        (path / "src.npy.tmp").write_bytes(b"partial")
+        with pytest.raises(StoreFormatError, match="unfinished event store"):
+            MemmapStorage(path)
+
+    def test_leftover_manifest_temp_is_reported(self, tmp_path):
+        path = MemmapStorage.write(tmp_path / "s", *small_columns()).path
+        (path / MANIFEST_NAME).unlink()
+        (path / (MANIFEST_NAME + ".tmp")).write_bytes(b"{")
+        with pytest.raises(StoreFormatError, match="unfinished"):
+            MemmapStorage(path)
+
+    def test_finalize_leaves_no_scratch_files(self, tmp_path):
+        src, dst, time, weight = small_columns(n=32)
+        path = MemmapStorage.write(
+            tmp_path / "s", src, dst, time[::-1].copy(), weight
+        ).path
+        names = {p.name for p in path.iterdir()}
+        assert names == {MANIFEST_NAME} | {f"{c}.npy" for c in COLUMNS}
+
+    def test_plain_empty_directory_is_still_a_plain_error(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        with pytest.raises(StoreFormatError, match="missing"):
+            MemmapStorage(tmp_path / "d")

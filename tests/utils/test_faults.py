@@ -1,0 +1,119 @@
+"""The fault-injection harness itself: arming, firing, byte budgets."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.utils import faults
+from repro.utils.faults import InjectedCrash
+
+
+class TestInject:
+    def test_unarmed_crash_point_is_a_noop(self):
+        faults.crash_point("anything.at.all")  # must not raise
+
+    def test_armed_point_fires_once(self):
+        with faults.inject("p") as fault:
+            with pytest.raises(InjectedCrash, match="'p'"):
+                faults.crash_point("p")
+            assert fault.fired
+            faults.crash_point("p")  # already fired: passes through
+
+    def test_other_points_pass_while_one_is_armed(self):
+        with faults.inject("p"):
+            faults.crash_point("q")  # must not raise
+
+    def test_disarmed_after_the_block(self):
+        with faults.inject("p"):
+            pass
+        faults.crash_point("p")
+        assert faults.active_fault() is None
+
+    def test_skip_passes_early_hits(self):
+        with faults.inject("p", skip=2) as fault:
+            faults.crash_point("p")
+            faults.crash_point("p")
+            with pytest.raises(InjectedCrash):
+                faults.crash_point("p")
+        assert fault.hits == 3
+
+    def test_nesting_is_rejected(self):
+        with faults.inject("p"):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with faults.inject("q"):
+                    pass
+
+    def test_fired_reports_unreached_points(self):
+        with faults.inject("never.reached") as fault:
+            pass
+        assert not fault.fired
+
+    def test_byte_limit_faults_skip_plain_crash_points(self):
+        # A torn-write fault must fire where the partial bytes can be
+        # produced, not at a bare marker of the same name.
+        with faults.inject("p", byte_limit=4):
+            faults.crash_point("p")  # must not raise
+
+
+class TestTornWrite:
+    def test_unarmed_writes_everything(self):
+        buf = io.BytesIO()
+        faults.torn_write(buf, b"abcdef", "p")
+        assert buf.getvalue() == b"abcdef"
+
+    def test_armed_writes_exactly_the_budget(self):
+        buf = io.BytesIO()
+        with faults.inject("p", byte_limit=4):
+            with pytest.raises(InjectedCrash, match="4 of 6"):
+                faults.torn_write(buf, b"abcdef", "p")
+        assert buf.getvalue() == b"abcd"
+
+    def test_requires_a_byte_limit_to_tear(self):
+        buf = io.BytesIO()
+        with faults.inject("p"):  # no byte_limit: torn_write passes through
+            faults.torn_write(buf, b"abcdef", "p")
+        assert buf.getvalue() == b"abcdef"
+
+    def test_skip_applies_to_whole_writes(self):
+        buf = io.BytesIO()
+        with faults.inject("p", skip=1, byte_limit=2):
+            faults.torn_write(buf, b"aa", "p")
+            with pytest.raises(InjectedCrash):
+                faults.torn_write(buf, b"bbbb", "p")
+        assert buf.getvalue() == b"aabb"
+
+
+class TestWrapFile:
+    def test_unarmed_returns_the_file_itself(self):
+        buf = io.BytesIO()
+        assert faults.wrap_file(buf, "p") is buf
+
+    def test_budget_spans_multiple_writes(self):
+        buf = io.BytesIO()
+        with faults.inject("p", byte_limit=5):
+            fh = faults.wrap_file(buf, "p")
+            fh.write(b"abc")
+            with pytest.raises(InjectedCrash, match="budget"):
+                fh.write(b"defg")
+        assert buf.getvalue() == b"abcde"
+
+    def test_wrapper_delegates_other_attributes(self):
+        buf = io.BytesIO()
+        with faults.inject("p", byte_limit=100):
+            fh = faults.wrap_file(buf, "p")
+            fh.write(b"xy")
+            assert fh.tell() == 2
+            fh.seek(0)
+            assert fh.read() == b"xy"
+
+    def test_exhausted_budget_refuses_further_writes(self):
+        buf = io.BytesIO()
+        with faults.inject("p", byte_limit=2):
+            fh = faults.wrap_file(buf, "p")
+            with pytest.raises(InjectedCrash):
+                fh.write(b"abc")
+            with pytest.raises(InjectedCrash):
+                fh.write(b"d")
+        assert buf.getvalue() == b"ab"

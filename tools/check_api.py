@@ -33,6 +33,14 @@ Two gates, both wired into ``make test`` via ``make api-check``:
    path is built on.  This keeps a new backend (or a graph refactor) from
    shipping half the seam.
 
+5. **Durability** — ``repro.stream`` must export the WAL surface
+   (``WriteAheadLog``/``WALRecord`` and the error taxonomy),
+   ``OnlineService`` must keep ``checkpoint``/``recover``/``close``, the
+   fault-injection helpers in ``repro.utils.faults`` must stay importable
+   (the crash-everywhere sweep is built on them), and checkpoints must keep
+   the watermark field.  This keeps a serving refactor from silently
+   dropping crash recovery.
+
 Run directly; exits non-zero listing every violation.
 """
 
@@ -355,6 +363,79 @@ def check_storage_surface() -> list[str]:
     return problems
 
 
+#: The WAL exports the durability layer is built on.
+DURABILITY_STREAM_EXPORTS = (
+    "WriteAheadLog",
+    "WALRecord",
+    "WALError",
+    "WALCorruptionError",
+)
+
+#: WAL methods recovery and checkpoint pruning rely on.
+WAL_CALLABLES = ("append", "records", "rotate", "prune", "sync_now", "close")
+
+#: Service durability methods (recover is a classmethod, checked callable).
+SERVICE_DURABILITY_CALLABLES = ("checkpoint", "recover", "close")
+
+#: Fault-harness helpers the crash-everywhere sweep is built on.
+FAULT_HELPERS = ("inject", "crash_point", "torn_write", "wrap_file", "active_fault")
+
+
+def check_durability_surface() -> list[str]:
+    """Violations of the crash-safety surface (empty list = clean)."""
+    problems = []
+    try:
+        import repro.stream as stream
+    except ImportError as exc:
+        return [f"durability: stream package missing: {exc}"]
+
+    for name in DURABILITY_STREAM_EXPORTS:
+        if not hasattr(stream, name):
+            problems.append(f"durability: repro.stream does not export {name}")
+    wal = getattr(stream, "WriteAheadLog", None)
+    if wal is not None:
+        for attr in WAL_CALLABLES:
+            if not callable(getattr(wal, attr, None)):
+                problems.append(f"WriteAheadLog: missing callable {attr}()")
+        for prop in ("next_seq", "first_seq", "last_seq", "truncated_tail"):
+            if not isinstance(getattr(wal, prop, None), property):
+                problems.append(f"WriteAheadLog: missing property {prop}")
+    service = getattr(stream, "OnlineService", None)
+    if service is not None:
+        for attr in SERVICE_DURABILITY_CALLABLES:
+            if not callable(getattr(service, attr, None)):
+                problems.append(f"OnlineService: missing callable {attr}()")
+        if not isinstance(getattr(service, "wal", None), property):
+            problems.append("OnlineService: missing property wal")
+
+    try:
+        from repro.utils import faults
+    except ImportError as exc:
+        problems.append(f"durability: fault harness missing: {exc}")
+        return problems
+    for helper in FAULT_HELPERS:
+        if not callable(getattr(faults, helper, None)):
+            problems.append(f"faults: missing callable {helper}()")
+    points = getattr(faults, "SERVICE_INJECTION_POINTS", ())
+    if not points or not all(isinstance(p, str) for p in points):
+        problems.append(
+            "faults: SERVICE_INJECTION_POINTS must enumerate the service's "
+            "crash points (the recovery sweep iterates it)"
+        )
+    if not isinstance(getattr(faults, "InjectedCrash", None), type):
+        problems.append("faults: missing InjectedCrash exception type")
+
+    from dataclasses import fields
+
+    from repro.utils.checkpoint import Checkpoint
+
+    if "watermark" not in {f.name for f in fields(Checkpoint)}:
+        problems.append(
+            "Checkpoint: missing the watermark field recovery resumes from"
+        )
+    return problems
+
+
 def main() -> int:
     classes = all_method_classes()
     if len(classes) < 5:
@@ -412,6 +493,16 @@ def main() -> int:
         print(
             "api-check: storage surface complete "
             "(backend protocol, memmap store + writer, graph seam)"
+        )
+    durability_problems = check_durability_surface()
+    if durability_problems:
+        failures += 1
+        for line in durability_problems:
+            print(f"api-check: {line}", file=sys.stderr)
+    else:
+        print(
+            "api-check: durability surface complete "
+            "(WAL, checkpoint watermark, recover, fault harness)"
         )
     return 1 if failures else 0
 

@@ -32,6 +32,11 @@ MIRRORS = [
         "examples/streaming_service.py",
     ),
     (
+        "## Crash-safe serving and recovery",
+        "python",
+        "examples/crash_recovery.py",
+    ),
+    (
         "## Regenerating the paper's tables",
         "python",
         "examples/paper_tables.py",
