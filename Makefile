@@ -4,12 +4,27 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stream test-faults bench bench-train bench-precision bench-streaming bench-scale bench-all docs-check quickstart lint api-check tables
+.PHONY: test test-stream test-faults bench bench-train bench-precision bench-streaming bench-scale bench-all docs-check quickstart lint api-check check reprolint lint-report tables
 
-## Tier-1 test suite (the gate every change must keep green).  Runs the
-## protocol-v2 surface check and the (ruff-when-available) linter first.
-test: api-check lint
+## Tier-1 test suite (the gate every change must keep green).  Runs all
+## four static gates first (see `make check`), then the pytest suite.
+test: check
 	$(PY) -m pytest -x -q
+
+## All four static gates behind one runner, one PASS/FAIL line each:
+## check_api.py, check_docs.py, check_lint.py (ruff wrapper), reprolint.
+check:
+	$(PY) tools/check.py
+
+## The AST-based invariant checker alone (RNG/dtype/seam/durability/API/
+## marker contracts; see docs/architecture.md "Static analysis").
+reprolint:
+	$(PY) -m tools.reprolint src tests
+
+## Machine-readable invariant-debt snapshot, tracked across PRs next to
+## the perf numbers.
+lint-report:
+	$(PY) -m tools.reprolint --format json --output benchmarks/results/lint.json src tests
 
 ## Streaming layer suite, *including* the stress-marked property sweeps
 ## that tier-1 deselects (pytest.ini: addopts = -m "not stress").

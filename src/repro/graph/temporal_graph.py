@@ -717,7 +717,7 @@ class TemporalGraph:
             nodes = np.asarray(nodes, dtype=np.int64)
         lo = self._inc_offsets[nodes]
         hi = self._inc_offsets[nodes + 1]
-        out = np.full(nodes.shape, np.nan)
+        out = np.full(nodes.shape, np.nan, dtype=np.float64)
         has = hi > lo
         out[has] = self._inc_time[hi[has] - 1]
         return out

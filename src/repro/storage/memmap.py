@@ -422,5 +422,9 @@ class MemmapStorageWriter:
                 crc = zlib.crc32(np.ascontiguousarray(block).view(np.uint8), crc)
             dst_mm.flush()
             del src_mm, dst_mm
+            # msync via flush() pushes the pages, but only an fsync makes
+            # the file durable before it replaces the unsorted column.
+            with tmp_path.open("rb+") as synced:
+                os.fsync(synced.fileno())
             os.replace(tmp_path, src_path)
             self._checksums[name] = crc

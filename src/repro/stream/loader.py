@@ -149,7 +149,9 @@ class EventStreamLoader:
         # side="left": an event exactly on a boundary opens the next window,
         # and every event sharing its timestamp travels with it.
         cuts = np.searchsorted(
-            self.time, t0 + self.window * np.arange(1, spans + 1), side="left"
+            self.time,
+            t0 + self.window * np.arange(1, spans + 1, dtype=np.int64),
+            side="left",
         )
         starts = np.concatenate([[0], cuts[:-1]])
         slices = [(int(a), int(b)) for a, b in zip(starts, cuts)]

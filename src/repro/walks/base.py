@@ -124,7 +124,9 @@ class WalkBatch:
         walk, matching what ``batch_walks`` would pad the subset to.
         """
         target_idx = np.asarray(target_idx, dtype=np.int64)
-        rows = (target_idx[:, None] * self.k + np.arange(self.k)).ravel()
+        rows = (
+            target_idx[:, None] * self.k + np.arange(self.k, dtype=np.int64)
+        ).ravel()
         valid = self.valid[rows]
         max_len = max(int(valid.sum(axis=1).max(initial=0)), 1)
         return WalkBatch(

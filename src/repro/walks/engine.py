@@ -277,7 +277,7 @@ class BatchedWalkEngine:
         cur = starts.copy()
         prev = np.full(b, -1, dtype=_I64)
         t_last = anchors.copy()
-        inclusive = np.full(b, bool(include_context))
+        inclusive = np.full(b, bool(include_context), dtype=bool)
         active = np.arange(b, dtype=_I64)
 
         for _ in range(length):

@@ -144,7 +144,7 @@ class Node2VecWalker:
         check_positive("num_walks", num_walks)
         rng = ensure_rng(rng)
         sentences: list[list[int]] = []
-        order = np.arange(self.graph.num_nodes)
+        order = np.arange(self.graph.num_nodes, dtype=np.int64)
         for _ in range(num_walks):
             rng.shuffle(order)
             for w in self.engine.node2vec(order, length, rng):

@@ -1,0 +1,56 @@
+"""check_lint version-parsing hardening: drift warning + unparseable exit."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools import check_lint  # noqa: E402
+
+
+def test_parse_version_extracts_dotted_token():
+    assert check_lint.parse_version("ruff 0.6.9\n") == "0.6.9"
+    assert check_lint.parse_version("ruff 0.12.1 (abcdef 2025-01-01)") == "0.12.1"
+
+
+def test_parse_version_rejects_garbage():
+    assert check_lint.parse_version("") is None
+    assert check_lint.parse_version("not a version at all") is None
+
+
+def test_main_skips_cleanly_when_ruff_missing(monkeypatch, capsys):
+    monkeypatch.setattr(check_lint, "ruff_version_output", lambda: None)
+    assert check_lint.main() == 0
+    assert "skipping" in capsys.readouterr().out
+
+
+def test_main_fails_on_unparseable_version(monkeypatch, capsys):
+    monkeypatch.setattr(check_lint, "ruff_version_output", lambda: "garbled")
+    assert check_lint.main() == 1
+    err = capsys.readouterr().err
+    assert "cannot parse" in err and check_lint.PINNED in err
+
+
+def test_drift_warning_names_both_versions(monkeypatch, capsys):
+    monkeypatch.setattr(
+        check_lint, "ruff_version_output", lambda: "ruff 99.0.0"
+    )
+    ran = {}
+
+    def fake_run(cmd, cwd=None):
+        ran["cmd"] = cmd
+
+        class Done:
+            returncode = 0
+
+        return Done()
+
+    monkeypatch.setattr(check_lint.subprocess, "run", fake_run)
+    assert check_lint.main() == 0
+    err = capsys.readouterr().err
+    assert "99.0.0" in err and check_lint.PINNED in err
+    assert "check" in ran["cmd"]  # the lint itself still ran despite drift

@@ -1,0 +1,7 @@
+"""Repo gate scripts and the :mod:`tools.reprolint` invariant checker.
+
+The single-file gates (``check_api.py``, ``check_docs.py``,
+``check_lint.py``) still run as plain scripts; this package marker exists
+so ``python -m tools.reprolint`` and ``python -m tools.check`` resolve from
+the repo root.
+"""

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Run every repo gate behind one command with one-line verdicts.
+
+``make check`` (which ``make test`` depends on) runs the four gates in
+order — API surface, README mirrors, ruff wrapper, reprolint — captures
+each one's output, and prints a single ``PASS``/``FAIL`` line per gate
+plus a summary.  A failing gate's captured output is replayed in full so
+nothing is hidden; the exit code is non-zero if any gate failed.
+
+Run a single gate directly (``python tools/check_api.py`` etc.) for the
+focused inner loop; this runner is the everything-at-once entry point.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: (name, argv) per gate, in execution order.  Every gate runs even when
+#: an earlier one fails, so one ``make check`` reports all the damage.
+GATES = [
+    ("api-check", [sys.executable, "tools/check_api.py"]),
+    ("docs-check", [sys.executable, "tools/check_docs.py"]),
+    ("lint", [sys.executable, "tools/check_lint.py"]),
+    ("reprolint", [sys.executable, "-m", "tools.reprolint", "src", "tests"]),
+]
+
+
+def run_gate(name: str, argv: list[str]) -> tuple[bool, float, str]:
+    """Run one gate; returns (passed, seconds, combined output)."""
+    started = time.perf_counter()
+    proc = subprocess.run(
+        argv, cwd=ROOT, capture_output=True, text=True
+    )
+    elapsed = time.perf_counter() - started
+    output = (proc.stdout or "") + (proc.stderr or "")
+    return proc.returncode == 0, elapsed, output
+
+
+def main() -> int:
+    failures = []
+    for name, argv in GATES:
+        passed, elapsed, output = run_gate(name, argv)
+        verdict = "PASS" if passed else "FAIL"
+        print(f"check: {verdict} {name} ({elapsed:.1f}s)")
+        if not passed:
+            failures.append(name)
+            sys.stdout.write(output if output.endswith("\n") else output + "\n")
+    if failures:
+        print(f"check: {len(failures)}/{len(GATES)} gate(s) failed: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"check: all {len(GATES)} gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,6 +51,11 @@ MIRRORS = [
         "python",
         "examples/million_edge_ingest.py",
     ),
+    (
+        "## Invariant checking",
+        "python",
+        "examples/invariant_checking.py",
+    ),
 ]
 
 

@@ -34,7 +34,8 @@ SELECT = "E4,E7,E9,F,B"
 TARGETS = ["src", "tests", "tools", "benchmarks", "examples"]
 
 
-def ruff_version() -> str | None:
+def ruff_version_output() -> str | None:
+    """Raw ``ruff --version`` stdout, or None when ruff is not runnable."""
     try:
         out = subprocess.run(
             [sys.executable, "-m", "ruff", "--version"],
@@ -46,19 +47,35 @@ def ruff_version() -> str | None:
         return None
     if out.returncode != 0:
         return None
-    # "ruff 0.6.9" -> "0.6.9"
-    return out.stdout.strip().split()[-1]
+    return out.stdout
+
+
+def parse_version(raw: str) -> str | None:
+    """``"ruff 0.6.9"`` -> ``"0.6.9"``; None when the output has no X.Y.Z."""
+    for token in raw.strip().split():
+        parts = token.split(".")
+        if len(parts) >= 2 and all(p.isdigit() for p in parts[:3] if p):
+            return token
+    return None
 
 
 def main() -> int:
-    version = ruff_version()
-    if version is None:
+    raw = ruff_version_output()
+    if raw is None:
         print(f"lint: ruff not installed; skipping (pinned {PINNED})")
         return 0
+    version = parse_version(raw)
+    if version is None:
+        print(
+            f"lint: cannot parse `ruff --version` output {raw.strip()!r}; "
+            f"refusing to guess whether it matches pinned {PINNED}",
+            file=sys.stderr,
+        )
+        return 1
     if version.split(".")[:2] != PINNED.split(".")[:2]:
         print(
-            f"lint: warning: ruff {version} differs from pinned {PINNED}; "
-            "findings may drift",
+            f"lint: warning: installed ruff {version} differs from pinned "
+            f"{PINNED}; findings may drift between these versions",
             file=sys.stderr,
         )
     cmd = [

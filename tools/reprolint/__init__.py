@@ -1,0 +1,50 @@
+"""reprolint — the repo's AST-based invariant checker.
+
+The test suite can only *sample* the contracts earlier PRs established
+(explicit-Generator determinism, the float32/int32 precision policy, the
+read-only storage seam, fsync-before-``os.replace`` durability); reprolint
+enforces them statically on every ``make test`` run.  Stdlib-only on
+purpose: it must run in the offline container where ruff is absent.
+
+Layout:
+
+- :mod:`~tools.reprolint.engine` — single-pass AST visitor, rule registry,
+  inline suppressions (``# reprolint: disable=RULE-ID``)
+- :mod:`~tools.reprolint.rules` — the six shipped rule plugins
+- :mod:`~tools.reprolint.baseline` — grandfathered-finding machinery
+- :mod:`~tools.reprolint.reporters` — text + JSON output
+- :mod:`~tools.reprolint.cli` — ``python -m tools.reprolint [paths...]``
+
+See the "Static analysis" section of ``docs/architecture.md`` for each
+rule's contract and the PR that introduced it.
+"""
+
+from tools.reprolint.baseline import load_baseline, split_by_baseline, write_baseline
+from tools.reprolint.engine import (
+    Engine,
+    FileContext,
+    LintConfig,
+    Rule,
+    default_rules,
+    register,
+    registered_rule_classes,
+)
+from tools.reprolint.findings import Finding
+from tools.reprolint.reporters import Report, render_json, render_text
+
+__all__ = [
+    "Engine",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "Report",
+    "Rule",
+    "default_rules",
+    "load_baseline",
+    "register",
+    "registered_rule_classes",
+    "render_json",
+    "render_text",
+    "split_by_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,81 @@
+"""Checked-in baseline of grandfathered findings.
+
+A baseline lets the checker gate *new* violations while an old one is being
+paid down: findings whose ``(rule, path, message)`` triple appears in the
+baseline file are reported as "baselined" and do not fail the run.  Matching
+deliberately ignores line numbers so unrelated edits do not invalidate
+entries; an entry goes stale (and should be deleted) only when the violation
+itself is fixed or the file moves.
+
+The shipped baseline (``tools/reprolint/baseline.json``) is empty — every
+violation the six rules found at introduction time was fixed instead of
+grandfathered — but the mechanism is load-bearing for future rules with
+large existing debt.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tools.reprolint.findings import Finding
+
+#: Baseline file format version (bumped on incompatible layout changes).
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not readable as a baseline."""
+
+
+def load_baseline(path) -> list[Finding]:
+    """Findings recorded in a baseline file (empty list when absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}")
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: not a reprolint baseline (expected version "
+            f"{BASELINE_VERSION}, found {payload.get('version')!r})"
+        )
+    try:
+        return [Finding.from_dict(row) for row in payload.get("findings", [])]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BaselineError(f"{path}: malformed baseline entry: {exc}")
+
+
+def write_baseline(findings, path) -> Path:
+    """Record ``findings`` as the new baseline; returns the path."""
+    path = Path(path)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def split_by_baseline(findings, baseline) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (new, baselined) against baseline entries.
+
+    Each baseline entry absorbs at most as many findings as it occurs in
+    the baseline (duplicate keys are counted, not collapsed), so a file
+    that *grows* a second identical violation still fails the run.
+    """
+    budget: dict[tuple, int] = {}
+    for entry in baseline:
+        budget[entry.key] = budget.get(entry.key, 0) + 1
+    fresh: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in sorted(findings):
+        remaining = budget.get(finding.key, 0)
+        if remaining > 0:
+            budget[finding.key] = remaining - 1
+            matched.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, matched

@@ -1,0 +1,135 @@
+"""``python -m tools.reprolint`` — the command-line entry point.
+
+Exit codes follow linter convention:
+
+- ``0`` — checked everything, no (non-baselined) findings
+- ``1`` — findings
+- ``2`` — usage or configuration error (bad baseline, unknown flag)
+
+The default target set matches the tier-1 gate: ``src tests`` relative to
+the repo root, against the checked-in baseline next to this module.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from tools.reprolint.baseline import (
+    BaselineError,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from tools.reprolint.engine import Engine, LintConfig, registered_rule_classes
+from tools.reprolint.reporters import Report, render_json, render_text
+
+#: The checked-in baseline the repo gate runs against.
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "AST-based invariant checker for this repo's RNG, dtype, "
+            "storage-seam, durability, API and test-marker contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="scan root rule path-scopes resolve against (default: cwd)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE.name} next to the package)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule id and contract, then exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    rows = []
+    for rule_cls in registered_rule_classes():
+        rows.append(f"{rule_cls.rule_id}  {rule_cls.title}")
+        rows.append(f"        {rule_cls.contract}")
+    return "\n".join(rows)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+
+    root = Path(args.root).resolve() if args.root else Path.cwd()
+    engine = Engine(root, config=LintConfig(root))
+    findings = engine.check_paths(args.paths)
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(findings, baseline_path)
+        print(
+            f"reprolint: wrote {len(findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    baseline = []
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"reprolint: {exc}", file=sys.stderr)
+            return 2
+    fresh, matched = split_by_baseline(findings, baseline)
+
+    report = Report(
+        findings=fresh,
+        baselined=matched,
+        suppressed_count=engine.suppressed_count,
+        files_checked=engine.files_checked,
+    )
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report) + "\n"
+    )
+    if args.output:
+        output_path = Path(args.output)
+        output_path.parent.mkdir(parents=True, exist_ok=True)
+        output_path.write_text(rendered)
+        counts = report.summary_counts()
+        print(
+            f"reprolint: wrote {args.format} report to {output_path} "
+            f"({counts['findings']} finding(s))"
+        )
+    else:
+        sys.stdout.write(rendered)
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

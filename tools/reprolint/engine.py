@@ -1,0 +1,338 @@
+"""Single-pass AST engine that dispatches nodes to registered rules.
+
+The shape of the framework:
+
+- A :class:`Rule` subclass declares the node types it wants (``interests``),
+  a path scope (``applies``), and yields :class:`Finding` objects from
+  ``visit`` (per interesting node) and ``end_file`` (whole-file state).
+- :func:`register` adds a rule class to the global registry;
+  :func:`default_rules` instantiates them all.
+- :class:`Engine` walks every requested file **once** with a single
+  recursive visitor, handing each node to every interested rule, then
+  filters inline suppressions (``# reprolint: disable=RULE-ID`` on the
+  flagged line, ``# reprolint: disable-file=RULE-ID`` anywhere).
+
+Everything is stdlib-only (``ast`` + ``configparser``): the checker must
+run in the offline container where ruff and friends do not exist.
+"""
+
+from __future__ import annotations
+
+import ast
+import configparser
+import re
+from pathlib import Path
+
+from tools.reprolint.findings import Finding
+
+#: Inline suppression syntax: ``# reprolint: disable=RNG001,DTYPE001`` or
+#: ``disable=all``; ``disable-file=...`` suppresses for the whole file.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_*,\- ]+)"
+)
+
+#: Directories never scanned.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+#: Rule id used for files the engine itself cannot parse.
+PARSE_RULE_ID = "E000"
+
+
+class LintConfig:
+    """Repo-level facts rules need: the scan root and pytest's markers."""
+
+    def __init__(self, root: Path, registered_markers: frozenset | None = None):
+        self.root = Path(root)
+        if registered_markers is None:
+            registered_markers = load_registered_markers(self.root / "pytest.ini")
+        self.registered_markers = registered_markers
+
+
+def load_registered_markers(pytest_ini: Path) -> frozenset | None:
+    """Marker names declared in ``pytest.ini`` (None when there is no file).
+
+    ``None`` (as opposed to an empty set) tells marker rules to stand down:
+    without a config there is no registry to check against.
+    """
+    if not pytest_ini.is_file():
+        return None
+    parser = configparser.ConfigParser()
+    try:
+        parser.read(pytest_ini)
+    except configparser.Error:
+        return None
+    if not parser.has_option("pytest", "markers"):
+        return frozenset()
+    names = set()
+    for line in parser.get("pytest", "markers").splitlines():
+        line = line.strip()
+        if line:
+            names.add(line.split(":", 1)[0].strip())
+    return frozenset(names)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class FileContext:
+    """Per-file state handed to every rule callback."""
+
+    def __init__(self, path: Path, rel: str, tree: ast.Module, source: str,
+                 config: LintConfig):
+        self.path = path
+        self.rel = rel
+        self.tree = tree
+        self.source = source
+        self.config = config
+        #: Function/Lambda nodes enclosing the node being visited (inner
+        #: last); maintained by the engine's visitor.
+        self.scope_stack: list[ast.AST] = []
+        self._import_maps: tuple[dict, dict] | None = None
+
+    # -- scope --------------------------------------------------------
+    def current_scope(self) -> ast.AST | None:
+        """The innermost enclosing function node, or None at module level."""
+        return self.scope_stack[-1] if self.scope_stack else None
+
+    # -- imports ------------------------------------------------------
+    def _imports(self) -> tuple[dict, dict]:
+        """(module aliases, imported names) for the whole file, lazily.
+
+        ``module_aliases`` maps a local name to the dotted module it is
+        bound to (``np`` → ``numpy``, ``npr`` → ``numpy.random``);
+        ``imported_names`` maps a local name to its ``module.attr`` origin
+        (``zeros`` → ``numpy.zeros``).
+        """
+        if self._import_maps is None:
+            modules: dict[str, str] = {}
+            names: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        modules[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name if alias.asname else alias.name.split(".")[0]
+                        )
+                        if alias.asname is None and "." in alias.name:
+                            # ``import numpy.random`` binds ``numpy``.
+                            modules[alias.name.split(".")[0]] = alias.name.split(".")[0]
+                elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                    for alias in node.names:
+                        names[alias.asname or alias.name] = (
+                            f"{node.module}.{alias.name}"
+                        )
+            self._import_maps = (modules, names)
+        return self._import_maps
+
+    def resolve_call(self, func: ast.AST) -> str | None:
+        """Fully qualified origin of a called name, import-aware.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` when ``np``
+        aliases numpy; a bare ``zeros`` resolves to ``numpy.zeros`` when it
+        was imported from numpy.  Unresolvable calls return None.
+        """
+        modules, names = self._imports()
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if not rest:
+            return names.get(head, None)
+        origin = modules.get(head)
+        if origin is not None:
+            return f"{origin}.{rest}"
+        via_name = names.get(head)
+        if via_name is not None:
+            return f"{via_name}.{rest}"
+        return None
+
+
+class Rule:
+    """Base class every rule plugin extends.
+
+    Subclasses set :attr:`rule_id`, :attr:`title`, :attr:`contract` (the
+    docs line) and :attr:`interests` (AST node types to receive), and
+    implement any of ``begin_file`` / ``visit`` / ``end_file``.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    #: One-line statement of the repo contract the rule encodes.
+    contract: str = ""
+    #: AST node classes this rule wants ``visit`` called for.
+    interests: tuple = ()
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx``'s file (path-scoped rules)."""
+        return True
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset per-file state before the walk."""
+
+    def visit(self, node: ast.AST, ctx: FileContext):
+        """Yield findings for one node of an interesting type."""
+        return ()
+
+    def end_file(self, ctx: FileContext):
+        """Yield findings that need whole-file state, after the walk."""
+        return ()
+
+    def finding(self, ctx: FileContext, line: int, message: str) -> Finding:
+        """Construct a finding attributed to this rule."""
+        return Finding(path=ctx.rel, line=int(line), rule_id=self.rule_id,
+                       message=message)
+
+
+#: The global rule registry, in registration order.
+_REGISTRY: list[type[Rule]] = []
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if any(r.rule_id == rule_cls.rule_id for r in _REGISTRY):
+        raise ValueError(f"duplicate rule id {rule_cls.rule_id!r}")
+    _REGISTRY.append(rule_cls)
+    return rule_cls
+
+
+def registered_rule_classes() -> tuple[type[Rule], ...]:
+    """Every registered rule class, in registration order."""
+    import tools.reprolint.rules  # noqa: F401 — populates the registry
+
+    return tuple(_REGISTRY)
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in registered_rule_classes()]
+
+
+def _suppressions(source: str) -> tuple[dict[int, set], set]:
+    """(per-line suppressed ids, file-wide suppressed ids) from comments."""
+    per_line: dict[int, set] = {}
+    whole_file: set = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(2).split(",") if part.strip()}
+        if match.group(1) == "disable-file":
+            whole_file |= ids
+        else:
+            per_line.setdefault(lineno, set()).update(ids)
+    return per_line, whole_file
+
+
+def _suppressed(finding: Finding, per_line: dict[int, set], whole_file: set) -> bool:
+    for ids in (whole_file, per_line.get(finding.line, ())):
+        if finding.rule_id in ids or "all" in ids or "*" in ids:
+            return True
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    """One recursive pass dispatching nodes to interested rules."""
+
+    _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def __init__(self, dispatch: dict, ctx: FileContext, out: list):
+        self.dispatch = dispatch
+        self.ctx = ctx
+        self.out = out
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for rule in self.dispatch.get(type(node), ()):
+            self.out.extend(rule.visit(node, self.ctx))
+        if isinstance(node, self._SCOPE_NODES):
+            self.ctx.scope_stack.append(node)
+            super().generic_visit(node)
+            self.ctx.scope_stack.pop()
+        else:
+            super().generic_visit(node)
+
+
+class Engine:
+    """Walk files, run rules, apply suppressions, collect findings."""
+
+    def __init__(self, root, rules: list[Rule] | None = None,
+                 config: LintConfig | None = None):
+        self.root = Path(root).resolve()
+        self.rules = default_rules() if rules is None else list(rules)
+        self.config = config or LintConfig(self.root)
+        #: Findings silenced by inline comments during the last run.
+        self.suppressed_count = 0
+        #: Files checked during the last run.
+        self.files_checked = 0
+
+    # -- file discovery -----------------------------------------------
+    def iter_files(self, paths) -> list[Path]:
+        """Expand the requested paths into a sorted list of ``.py`` files."""
+        found: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if not path.is_absolute():
+                path = self.root / path
+            if path.is_dir():
+                for candidate in path.rglob("*.py"):
+                    if not _SKIP_DIRS.intersection(candidate.parts):
+                        found.add(candidate)
+            elif path.suffix == ".py":
+                found.add(path)
+        return sorted(found)
+
+    def relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- checking -----------------------------------------------------
+    def check_paths(self, paths) -> list[Finding]:
+        """Check every file under ``paths``; returns sorted findings."""
+        findings: list[Finding] = []
+        self.suppressed_count = 0
+        self.files_checked = 0
+        for path in self.iter_files(paths):
+            findings.extend(self.check_file(path))
+            self.files_checked += 1
+        return sorted(findings)
+
+    def check_file(self, path: Path) -> list[Finding]:
+        """Run every applicable rule over one file."""
+        rel = self.relpath(Path(path))
+        try:
+            source = Path(path).read_text()
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            return [Finding(path=rel, line=getattr(exc, "lineno", 0) or 0,
+                            rule_id=PARSE_RULE_ID,
+                            message=f"cannot parse file: {exc}")]
+        ctx = FileContext(Path(path), rel, tree, source, self.config)
+        active = [rule for rule in self.rules if rule.applies(ctx)]
+        if not active:
+            return []
+        dispatch: dict[type, list[Rule]] = {}
+        for rule in active:
+            rule.begin_file(ctx)
+            for node_type in rule.interests:
+                dispatch.setdefault(node_type, []).append(rule)
+        raw: list[Finding] = []
+        _Visitor(dispatch, ctx, raw).visit(tree)
+        for rule in active:
+            raw.extend(rule.end_file(ctx))
+        per_line, whole_file = _suppressions(source)
+        kept = []
+        for finding in raw:
+            if _suppressed(finding, per_line, whole_file):
+                self.suppressed_count += 1
+            else:
+                kept.append(finding)
+        return kept

@@ -1,0 +1,58 @@
+"""The one value every rule produces: a :class:`Finding`.
+
+A finding pins a rule violation to a file and line.  The ``(rule_id, path,
+message)`` triple — deliberately *without* the line — is the identity the
+baseline machinery matches on, so grandfathered findings survive unrelated
+edits that shift line numbers (see :mod:`tools.reprolint.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes
+    ----------
+    path:
+        Posix-style path of the offending file, relative to the scan root
+        (the repo root under ``make lint``).
+    line:
+        1-based source line the violation anchors to.
+    rule_id:
+        The emitting rule's identifier (``RNG001``, ``DTYPE001``, ...).
+    message:
+        Human-readable description of the violated contract.
+    """
+
+    path: str
+    line: int
+    rule_id: str
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        """Line-insensitive identity used for baseline matching."""
+        return (self.rule_id, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (the JSON reporter's row shape)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (line defaults to 0 for baselines)."""
+        return cls(
+            path=str(row["path"]),
+            line=int(row.get("line", 0)),
+            rule_id=str(row["rule"]),
+            message=str(row["message"]),
+        )

@@ -1,0 +1,71 @@
+"""Text and JSON reporters over a finished check run.
+
+Both consume a :class:`Report` — findings split against the baseline plus
+run counters — so the CLI builds one value and picks a serialization.  The
+JSON shape is versioned and stable: ``make lint-report`` archives it under
+``benchmarks/results/lint.json`` so invariant debt is tracked across PRs
+the same way the perf numbers are.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from tools.reprolint.findings import Finding
+
+#: JSON report format version.
+REPORT_VERSION = 1
+
+
+@dataclass
+class Report:
+    """Everything a reporter needs about one run."""
+
+    findings: list[Finding] = field(default_factory=list)  # new (failing)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    files_checked: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.findings)
+
+    def summary_counts(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for finding in self.findings:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        return {
+            "files_checked": self.files_checked,
+            "findings": len(self.findings),
+            "baselined": len(self.baselined),
+            "suppressed": self.suppressed_count,
+            "by_rule": dict(sorted(by_rule.items())),
+        }
+
+
+def render_text(report: Report) -> str:
+    """One ``path:line: RULE message`` row per finding plus a summary line."""
+    lines = [
+        f"{finding.path}:{finding.line}: {finding.rule_id} {finding.message}"
+        for finding in report.findings
+    ]
+    counts = report.summary_counts()
+    status = "FAIL" if report.failed else "OK"
+    lines.append(
+        f"reprolint: {status} — {counts['findings']} finding(s) across "
+        f"{counts['files_checked']} file(s) "
+        f"({counts['baselined']} baselined, {counts['suppressed']} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    """Versioned JSON document with findings, baselined rows and counters."""
+    payload = {
+        "version": REPORT_VERSION,
+        "summary": report.summary_counts(),
+        "findings": [finding.to_dict() for finding in report.findings],
+        "baselined": [finding.to_dict() for finding in report.baselined],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
