@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-stream test-faults bench bench-train bench-precision bench-streaming bench-scale bench-all docs-check quickstart lint api-check check reprolint lint-report tables
+.PHONY: test test-stream test-faults test-parallel bench bench-train bench-precision bench-streaming bench-scale bench-parallel bench-all docs-check quickstart lint api-check check reprolint lint-report tables
 
 ## Tier-1 test suite (the gate every change must keep green).  Runs all
 ## four static gates first (see `make check`), then the pytest suite.
@@ -37,6 +37,11 @@ test-stream:
 ## These also run in tier-1; this target is the focused inner loop.
 test-faults:
 	$(PY) -m pytest -q -m faults
+
+## Worker-pool suite: every parallel-marked test (real spawn pools), not
+## just the tier-1 smoke subset.
+test-parallel:
+	$(PY) -m pytest -q -m parallel tests/parallel tests/storage/test_shared.py
 
 ## Assert every EmbeddingMethod subclass implements the v2 API surface.
 api-check:
@@ -71,6 +76,13 @@ bench-streaming:
 ## (pytest.ini deselects the scale marker).
 bench-scale:
 	$(PY) -m pytest benchmarks/bench_scale.py -q -s -m scale
+
+## Core-scaling benchmark: sharded walks and sync data-parallel training at
+## 1/2/4/8 workers over one shared-memory graph, plus the candidate_cap hub
+## delta and the sync bitwise-invariance assertion.  Writes
+## benchmarks/results/parallel.txt.  Excluded from tier-1 (scale marker).
+bench-parallel:
+	$(PY) -m pytest benchmarks/bench_parallel.py -q -s -m scale
 
 ## Every benchmark, including full experiment regenerations (slow).
 bench-all:

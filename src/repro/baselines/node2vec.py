@@ -48,6 +48,7 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
         lr: float = 0.025,
         seed=None,
         precision: str = "float64",
+        num_workers: int = 1,
     ):
         self.dim = dim
         self.num_walks = num_walks
@@ -59,6 +60,9 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
         self.epochs = epochs
         self.lr = lr
         self.precision = get_precision(precision).name
+        # num_workers >= 2 trains SGNS Hogwild-style over shared tables
+        # (nondeterministic; see repro.parallel.hogwild); 1 stays serial.
+        self.num_workers = num_workers
         self._rng = ensure_rng(seed)
         self.graph: TemporalGraph | None = None
         self._model: SkipGramNS | None = None
@@ -88,6 +92,7 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
             epochs=self.epochs,
             callbacks=callbacks,
             name=self.name,
+            num_workers=self.num_workers,
         )
         return self
 
@@ -137,6 +142,7 @@ class Node2Vec(SGNSCheckpointMixin, EmbeddingMethod):
             "epochs": self.epochs,
             "lr": self.lr,
             "precision": self.precision,
+            "num_workers": self.num_workers,
         }
 
 class DeepWalk(Node2Vec):

@@ -12,6 +12,7 @@ from repro.core.config import EHNAConfig
 from repro.core.loss import margin_hinge_loss
 from repro.core.model import EHNA
 from repro.core.negative_sampling import NegativeSampler
+from repro.core.params import FlatAdam, FlatParams, ParamGroup, ParamSpec
 from repro.core.trainer import (
     EarlyStopping,
     LambdaCallback,
@@ -41,6 +42,10 @@ __all__ = [
     "uniform_attention",
     "margin_hinge_loss",
     "NegativeSampler",
+    "FlatParams",
+    "FlatAdam",
+    "ParamGroup",
+    "ParamSpec",
     "Trainer",
     "TrainState",
     "TrainerCallback",

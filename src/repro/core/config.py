@@ -88,6 +88,31 @@ class EHNAConfig:
     # at the cost of those occurrences sharing one neighborhood sample
     # (slightly lower gradient variance reduction); off by default.
     dedup_aggregations: bool = False
+    # Cap on a hub's per-hop candidate set in the temporal walk engine; 0
+    # (default) keeps the exact behavior.  With cap > 0, each hop gathers
+    # only a node's `candidate_cap` most recent historical events — O(cap)
+    # per hop instead of O(degree) — truncating only the smallest Eq. 1
+    # decay weights (see BatchedWalkEngine's sampling note).
+    candidate_cap: int = 0
+    # Data parallelism (repro.parallel).  num_workers=1 (default) is the
+    # single-process legacy path, bitwise-unchanged.  num_workers >= 2 fans
+    # training out over that many spawn workers attached to a shared-memory
+    # graph; num_workers=0 runs the *same sharded math* inline without a
+    # pool — the bitwise comparator for sync mode (sync trajectories are
+    # worker-count-invariant: 0, 2, 4, ... all agree bitwise at a fixed
+    # seed, but differ from the legacy path, whose batch-norm statistics
+    # and RNG stream are whole-batch rather than per-shard).
+    num_workers: int = 1
+    # Gradient protocol of the parallel trainer: "sync" (deterministic
+    # shard-averaged gradients, the EHNA default) or "hogwild" (lock-free
+    # shared-array updates — only meaningful for the skip-gram baselines,
+    # which route through repro.parallel.hogwild; EHNA rejects it).
+    parallel: str = "sync"
+    # Number of gradient shards a sync-mode batch is split into.  This —
+    # not the worker count — defines the reduction order and the per-shard
+    # RNG substreams, so changing worker counts never changes the math;
+    # shards are dealt round-robin to however many workers exist.
+    parallel_shards: int = 8
     # Precision policy of the compute substrate (repro.nn.dtypes):
     # "float64" is the bitwise-stable reference mode; "float32" is the fast
     # mode — single-precision parameters/activations/walk batches validated
@@ -121,6 +146,13 @@ class EHNAConfig:
         if self.objective not in ("euclidean", "dot"):
             raise ValueError(
                 f"objective must be 'euclidean' or 'dot', got {self.objective!r}"
+            )
+        check_non_negative("candidate_cap", self.candidate_cap)
+        check_non_negative("num_workers", self.num_workers)
+        check_positive("parallel_shards", self.parallel_shards)
+        if self.parallel not in ("sync", "hogwild"):
+            raise ValueError(
+                f"parallel must be 'sync' or 'hogwild', got {self.parallel!r}"
             )
         # Raises UnknownPrecisionError listing the valid policy names.
         get_precision(self.precision)

@@ -103,6 +103,7 @@ class EHNA(EmbeddingMethod):
             cache_size=cfg.walk_cache_size,
             time_buckets=cfg.walk_time_buckets,
             real_dtype=self._precision.real,
+            candidate_cap=cfg.candidate_cap,
         )
         self.temporal_walker = (
             TemporalWalker(graph, p=cfg.p, q=cfg.q, decay=cfg.decay, engine=self.engine)
@@ -148,6 +149,13 @@ class EHNA(EmbeddingMethod):
         early stopping, eval probes, or any other epoch-end hook.
         """
         cfg = self.config
+        if cfg.num_workers != 1:
+            # Data-parallel training (repro.parallel): sharded sync
+            # gradients over a shared-memory graph.  num_workers=1 stays on
+            # the legacy single-process path below, bitwise-unchanged.
+            from repro.parallel.trainer import fit_data_parallel
+
+            return fit_data_parallel(self, graph, verbose=verbose, callbacks=callbacks)
         self._build_runtime(graph)
         optimizers = self._make_optimizers()
 
@@ -588,6 +596,20 @@ class EHNA(EmbeddingMethod):
     @classmethod
     def _from_config(cls, config: dict) -> "EHNA":
         return cls(config=EHNAConfig(**config))
+
+    def _named_parameters(self) -> list:
+        """``(name, tensor)`` pairs in the flat-vector layout order.
+
+        The embedding table first, then the aggregator parameters in their
+        deterministic ``parameters()`` order — the contract
+        :class:`~repro.core.params.FlatParams` and the data-parallel
+        trainer's gradient protocol both build on.
+        """
+        named = [("embedding", self.embedding.weight)]
+        named.extend(
+            (f"agg/{i}", p) for i, p in enumerate(self.aggregator.parameters())
+        )
+        return named
 
     def _batch_norms(self) -> list[BatchNorm1d]:
         """The aggregator's BN layers, in deterministic module order (their

@@ -1,0 +1,259 @@
+"""State isolation: the flat parameter vector behind data-parallel training.
+
+The model's trainable state normally lives scattered across layer objects —
+an ``Embedding`` table here, LSTM gate matrices there — each stepped by its
+own :class:`~repro.nn.optim.Adam`.  That layout is fine in one process but
+opaque to everything outside it: a worker cannot snapshot it, a leader
+cannot place it in shared memory, a future BLAS/numba backend cannot treat
+it as one buffer.
+
+This module flattens that state into a single contiguous vector while the
+layer objects keep working untouched:
+
+- :class:`FlatParams` concatenates named parameter tensors into one 1-D
+  buffer and *rebinds* each tensor's ``data`` to a view of it, so every
+  forward/backward in the existing model reads and writes the flat buffer
+  directly.  ``rebind`` relocates the views onto any same-shape buffer —
+  including a shared-memory segment, which is how the sync trainer shares
+  one copy of the parameters with every worker.
+- :class:`ParamGroup` names a contiguous slice of the vector with its own
+  learning rate and clip, mirroring the model's embedding/network optimizer
+  split.
+- :class:`FlatAdam` steps the whole vector from an explicit gradient vector
+  argument, group by group, with update arithmetic elementwise-identical to
+  :class:`~repro.nn.optim.Adam` — the flat step is bitwise-equal to the
+  per-tensor steps it replaces (see ``tests/core/test_params.py``).
+
+With this seam, a worker's training state is exactly (graph handle, flat
+parameter snapshot, RNG seed) — the contract ``repro/parallel`` builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One named tensor's placement inside the flat vector."""
+
+    name: str
+    shape: tuple
+    start: int
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class FlatParams:
+    """Named parameter tensors flattened into one contiguous vector.
+
+    Built from ``(name, tensor)`` pairs (order defines the layout).  Every
+    tensor's ``data`` becomes a reshaped view of the flat buffer, so the
+    model keeps training through its usual layer objects while snapshots,
+    shared-memory placement and flat optimizer steps all see one array.
+
+    All tensors must share one dtype — guaranteed by the precision policy,
+    which allocates the whole model in a single floating dtype.
+    """
+
+    def __init__(self, named_tensors):
+        named_tensors = list(named_tensors)
+        if not named_tensors:
+            raise ValueError("FlatParams needs at least one tensor")
+        dtypes = {t.data.dtype for _, t in named_tensors}
+        if len(dtypes) != 1:
+            raise ValueError(f"parameters span multiple dtypes: {sorted(map(str, dtypes))}")
+        self._tensors = [t for _, t in named_tensors]
+        specs = []
+        offset = 0
+        for name, t in named_tensors:
+            size = int(t.data.size)
+            specs.append(ParamSpec(str(name), tuple(t.data.shape), offset, offset + size))
+            offset += size
+        self._specs = tuple(specs)
+        buffer = np.empty(offset, dtype=dtypes.pop())
+        for spec, t in zip(self._specs, self._tensors):
+            buffer[spec.start : spec.stop] = t.data.ravel()
+        self.rebind(buffer)
+
+    # -- layout --------------------------------------------------------
+    @property
+    def specs(self) -> tuple:
+        return self._specs
+
+    @property
+    def size(self) -> int:
+        return self._specs[-1].stop
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def data(self) -> np.ndarray:
+        """The flat buffer itself (the live parameters, not a copy)."""
+        return self._data
+
+    def view(self, name: str) -> np.ndarray:
+        """The named tensor's slice of the flat buffer, in tensor shape."""
+        for spec in self._specs:
+            if spec.name == name:
+                return self._data[spec.start : spec.stop].reshape(spec.shape)
+        raise KeyError(f"no parameter named {name!r}")
+
+    def slice_of(self, name: str) -> slice:
+        """The flat-vector index range a named tensor occupies."""
+        for spec in self._specs:
+            if spec.name == name:
+                return slice(spec.start, spec.stop)
+        raise KeyError(f"no parameter named {name!r}")
+
+    # -- state transfer ------------------------------------------------
+    def snapshot(self) -> np.ndarray:
+        """A private copy of the current parameter values."""
+        return self._data.copy()
+
+    def load(self, vector: np.ndarray) -> None:
+        """Copy ``vector`` into the live buffer (shapes/dtypes must match)."""
+        vector = np.asarray(vector)
+        if vector.shape != self._data.shape or vector.dtype != self._data.dtype:
+            raise ValueError(
+                f"expected shape {self._data.shape} dtype {self._data.dtype}, "
+                f"got shape {vector.shape} dtype {vector.dtype}"
+            )
+        self._data[...] = vector
+
+    def rebind(self, buffer: np.ndarray) -> None:
+        """Relocate every tensor's ``data`` onto views of ``buffer``.
+
+        ``buffer`` keeps the current values' layout but may live anywhere —
+        notably inside a shared-memory segment (leader: writable view;
+        worker: read-only view).  The previous buffer is abandoned; call
+        ``rebind(self.data.copy())`` to re-privatize before releasing a
+        shared segment.
+        """
+        buffer = np.asarray(buffer)
+        expected = self._specs[-1].stop
+        if buffer.shape != (expected,):
+            raise ValueError(f"expected a flat buffer of shape ({expected},), got {buffer.shape}")
+        if self._tensors[0].data.dtype != buffer.dtype:
+            raise ValueError(
+                f"buffer dtype {buffer.dtype} != parameter dtype {self._tensors[0].data.dtype}"
+            )
+        self._data = buffer
+        for spec, t in zip(self._specs, self._tensors):
+            t.data = buffer[spec.start : spec.stop].reshape(spec.shape)
+
+    # -- gradients -----------------------------------------------------
+    def grad_vector(self) -> np.ndarray:
+        """The tensors' accumulated gradients as one flat vector.
+
+        Missing gradients contribute zeros — the same effective update the
+        per-tensor Adam produces for a parameter that did get a (dense,
+        possibly all-zero) gradient, which is what the fused training step
+        always yields.
+        """
+        out = np.zeros(self.size, dtype=self._data.dtype)
+        for spec, t in zip(self._specs, self._tensors):
+            if t.grad is not None:
+                out[spec.start : spec.stop] = t.grad.ravel()
+        return out
+
+    def __repr__(self) -> str:
+        return f"FlatParams(tensors={len(self._specs)}, size={self.size}, dtype={self.dtype})"
+
+
+@dataclass(frozen=True)
+class ParamGroup:
+    """A contiguous slice of the flat vector with its own hyperparameters."""
+
+    name: str
+    start: int
+    stop: int
+    lr: float
+    clip: float | None = None
+
+
+class FlatAdam:
+    """Adam over the flat vector, one moment pair per :class:`ParamGroup`.
+
+    The update arithmetic is copied operation-for-operation from
+    :class:`~repro.nn.optim.Adam` (same in-place moment updates, same
+    Python-scalar coefficients, same bias correction), so stepping the flat
+    vector is bitwise-identical to stepping the underlying tensors with
+    per-tensor optimizers — Adam is elementwise, and concatenation does not
+    change element order within a tensor.
+
+    Unlike :class:`~repro.nn.optim.Adam`, the gradient arrives as an
+    explicit argument (the reduced, shard-averaged vector in sync training)
+    rather than being read off ``p.grad`` — the whole point of the seam.
+    """
+
+    def __init__(
+        self,
+        flat: FlatParams,
+        groups,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        groups = list(groups)
+        if not groups:
+            raise ValueError("FlatAdam needs at least one parameter group")
+        prev = 0
+        for grp in groups:
+            check_positive(f"lr[{grp.name}]", grp.lr)
+            if grp.start != prev:
+                raise ValueError(
+                    f"group {grp.name!r} starts at {grp.start}, expected {prev} "
+                    "(groups must tile the vector contiguously)"
+                )
+            prev = grp.stop
+        if prev != flat.size:
+            raise ValueError(f"groups cover [0, {prev}) but the vector has size {flat.size}")
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.flat = flat
+        self.groups = tuple(groups)
+        self.betas = betas
+        self.eps = eps
+        self._m = [np.zeros(grp.stop - grp.start, dtype=flat.dtype) for grp in groups]
+        self._v = [np.zeros(grp.stop - grp.start, dtype=flat.dtype) for grp in groups]
+        self._t = 0
+
+    @property
+    def t(self) -> int:
+        """Number of steps taken (Adam's bias-correction clock)."""
+        return self._t
+
+    def step(self, grad: np.ndarray) -> None:
+        """Apply one Adam update of the flat vector from ``grad``."""
+        grad = np.asarray(grad)
+        if grad.shape != (self.flat.size,) or grad.dtype != self.flat.dtype:
+            raise ValueError(
+                f"expected grad of shape ({self.flat.size},) dtype {self.flat.dtype}, "
+                f"got shape {grad.shape} dtype {grad.dtype}"
+            )
+        self._t += 1
+        b1, b2 = self.betas
+        correct1 = 1.0 - b1**self._t
+        correct2 = 1.0 - b2**self._t
+        data = self.flat.data
+        for grp, m, v in zip(self.groups, self._m, self._v):
+            g = grad[grp.start : grp.stop]
+            if grp.clip is not None:
+                g = np.clip(g, -grp.clip, grp.clip)
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / correct1
+            v_hat = v / correct2
+            data[grp.start : grp.stop] -= grp.lr * m_hat / (np.sqrt(v_hat) + self.eps)

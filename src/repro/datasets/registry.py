@@ -100,6 +100,7 @@ def load(
     seed=None,
     labels: bool = False,
     storage=None,
+    shared: bool = False,
 ):
     """Generate the named dataset at ``scale`` times its default size.
 
@@ -125,6 +126,16 @@ def load(
         dataset is generated once and written as a store.  Either way the
         returned graph is ``MemmapStorage``-backed, bitwise identical to
         the in-memory one at the same signature.
+    shared:
+        When true, the generated graph is converted with ``to_shared()``:
+        the returned graph is ``SharedMemoryStorage``-backed, ready to hand
+        to :mod:`repro.parallel` workers.  The backend is part of the cache
+        key (like the memmap path), so a shared request is never served a
+        memory-backed cache hit or vice versa.  Cache-served clones share
+        one segment: the entry's storage stays open while cached, and the
+        segment is unlinked once the entry is evicted and the last clone
+        is garbage collected — don't ``close()`` a clone's storage while
+        other clones are in use.
 
     Raises
     ------
@@ -144,6 +155,8 @@ def load(
         backend_key = (
             ("memory",) if store_dir is None else ("memmap", str(store_dir.resolve()))
         )
+        if shared:
+            backend_key = backend_key + ("shared",)
         cache_key = (key, float(scale), int(seed), bool(labels), backend_key)
         hit = _load_cache.get(cache_key)
         if hit is not None:
@@ -155,6 +168,8 @@ def load(
         graph = _load_memmap(key, name, scale, seed, store_dir)
     else:
         graph = _generate(key, name, scale, seed)
+    if shared:
+        graph = graph.to_shared()
     result = graph if not labels else (graph, community_labels(graph, seed=seed))
     if cache_key is not None:
         # Count the miss only for successful generations, so a bad dataset

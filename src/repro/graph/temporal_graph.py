@@ -193,6 +193,110 @@ class TemporalGraph:
         graph._init_from_store(n, storage)
         return graph
 
+    # ------------------------------------------------------------------
+    # shared-memory twins (the repro.parallel substrate)
+    # ------------------------------------------------------------------
+    def to_shared(self, name: str | None = None) -> "TemporalGraph":
+        """A twin of this graph backed by one shared-memory segment.
+
+        Forces every lazy derived structure (incidence CSR, distinct CSR,
+        pair index, scaled times) and packs it next to the event columns in
+        a :class:`~repro.storage.SharedMemoryStorage` segment, then returns
+        a new graph whose arrays are read-only views into that segment.
+        The receiver is untouched.  Worker processes attach zero-copy with
+        :meth:`from_handle` via the twin's :attr:`shared_handle`; a pinned
+        time scale travels in the handle.  The creating process owns the
+        segment — it is unlinked when the twin's storage is closed or
+        garbage collected.
+        """
+        from repro.storage.shared import SharedMemoryStorage
+
+        self._ensure_compacted()
+        indptr, nbr, times, weights, eids = self.incidence_csr()
+        dindptr, dnbr, dmult = self.distinct_csr()
+        columns = {
+            "src": self._src,
+            "dst": self._dst,
+            "time": self._time,
+            "weight": self._weight,
+        }
+        derived = {
+            "inc_offsets": indptr,
+            "inc_nbr": nbr,
+            "inc_time": times,
+            "inc_weight": weights,
+            "inc_eid": eids,
+            "degree": self._degree,
+            "dindptr": dindptr,
+            "dnbr": dnbr,
+            "dmult": dmult,
+            "times01": self.times01(),
+            "pair_keys": self._pair_index(),
+        }
+        store = SharedMemoryStorage.from_graph_arrays(
+            columns, derived, num_nodes=self._n, time_scale=self._scale, name=name
+        )
+        twin = TemporalGraph.__new__(TemporalGraph)
+        twin._init_from_shared(store)
+        return twin
+
+    @classmethod
+    def from_handle(cls, handle) -> "TemporalGraph":
+        """Attach to another process's shared graph — zero copy, zero rebuild.
+
+        ``handle`` is a :class:`~repro.storage.PackHandle` from
+        :attr:`shared_handle` (picklable, a few hundred bytes).  Every array
+        — event columns *and* the derived CSR indexes — is mapped read-only
+        from the owner's segment, so attaching costs no per-event work at
+        all; this is what makes worker-pool startup independent of graph
+        size.
+        """
+        from repro.storage.shared import SharedMemoryStorage
+
+        graph = cls.__new__(cls)
+        graph._init_from_shared(SharedMemoryStorage.attach(handle))
+        return graph
+
+    def _init_from_shared(self, store) -> None:
+        """Bind a shared store, wiring derived structures straight to its
+        views instead of rebuilding them (the :meth:`_init_from_store`
+        counterpart for segments that already carry the indexes)."""
+        self._n = store.num_nodes
+        self._store = store
+        self._pending = []
+        self._pending_count = 0
+        self._unabsorbed = np.empty(0, dtype=np.int64)
+        self._compactions = 0
+        self._scale = store.time_scale
+        self._inc_offsets = store.array("inc_offsets")
+        self._inc_nbr = store.array("inc_nbr")
+        self._inc_eid = store.array("inc_eid")
+        self._inc_time = store.array("inc_time")
+        self._degree = store.array("degree")
+        self._index_dtype = self._inc_offsets.dtype
+        self._distinct = (
+            store.array("dindptr"),
+            store.array("dnbr"),
+            store.array("dmult"),
+        )
+        self._pair_keys = store.array("pair_keys")
+        self._times01 = store.array("times01")
+        self._inc_weight = store.array("inc_weight")
+
+    @property
+    def shared_handle(self):
+        """The picklable attach token of a shared-memory-backed graph.
+
+        Workers pass it to :meth:`from_handle`.  Raises ``ValueError`` for
+        other backends — call :meth:`to_shared` first.
+        """
+        self._ensure_compacted()
+        if self._store.backend != "shared":
+            raise ValueError(
+                "graph is not backed by shared memory; call to_shared() first"
+            )
+        return self._store.handle
+
     def extend(
         self, src, dst, time, weight=None, num_nodes=None
     ) -> tuple["TemporalGraph", np.ndarray]:
@@ -534,7 +638,7 @@ class TemporalGraph:
 
     @property
     def storage_backend(self) -> str:
-        """Short backend label: ``"memory"`` or ``"memmap"``."""
+        """Short backend label: ``"memory"``, ``"memmap"`` or ``"shared"``."""
         return self._store.backend
 
     @property

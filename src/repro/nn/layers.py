@@ -496,6 +496,12 @@ class BatchNorm1d(Module):
         self.beta = init.zeros((num_features,), dtype=dtype)
         self.running_mean = np.zeros(num_features, dtype=dtype)
         self.running_var = np.ones(num_features, dtype=dtype)
+        #: When set to a list, every training forward appends its batch
+        #: ``(mean, var)`` here.  The data-parallel trainer uses this to
+        #: replay a shard's running-average updates on the leader — a log
+        #: (not a single capture) because one training step may run this
+        #: layer more than once (temporal and static aggregation parts).
+        self.stats_log: list | None = None
 
     def __call__(self, x: Tensor) -> Tensor:
         if x.ndim != 2 or x.shape[1] != self.num_features:
@@ -506,6 +512,8 @@ class BatchNorm1d(Module):
             mean = x.mean(axis=0, keepdims=True)
             centered = x - mean
             var = (centered * centered).mean(axis=0, keepdims=True)
+            if self.stats_log is not None:
+                self.stats_log.append((mean.data.ravel(), var.data.ravel()))
             self.running_mean = (
                 (1 - self.momentum) * self.running_mean
                 + self.momentum * mean.data.ravel()

@@ -1,0 +1,141 @@
+"""Hogwild training for the skip-gram baselines.
+
+The SGNS update is the textbook Hogwild workload (Niu et al., 2011): each
+``(center, context)`` pair touches a handful of rows of two big tables, and
+collisions between concurrent updates are rare and bounded.  So instead of
+the sync trainer's gradient protocol, the weight tables themselves move
+into a shared segment, every worker applies its mini-batch updates
+*lock-free* to the same bytes, and nobody reduces anything.
+
+This module is the second sanctioned shared-write site under reprolint
+PAR001 (with :mod:`repro.parallel.state`): workers re-derive writable views
+over the shared tables and run the ordinary ``SkipGramNS.train_pairs`` on
+them — ``np.add.at`` scatters straight into shared memory.
+
+**Nondeterminism — by design.**  Update interleaving depends on OS
+scheduling, lost updates between racing row writes are permitted, and the
+reported per-epoch loss is each worker's local pre-update view.  Runs are
+not bitwise-reproducible for ``num_workers >= 2`` even at a fixed seed;
+quality is preserved statistically (the tests pin AUC within tolerance of
+the serial path), which is the standard Hogwild guarantee.  For exact
+reproducibility keep ``num_workers=1`` (the serial path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trainer import TrainState
+from repro.parallel.pool import _WORKER, spawn_pool
+from repro.storage.shared import SharedArrayPack
+from repro.utils.validation import check_positive
+
+
+def _init_hogwild_worker(pack_handle, model_kwargs: dict, noise_weights) -> None:
+    """Pool initializer: attach the tables, build a worker-side SGNS on them."""
+    from repro.baselines.skipgram import SkipGramNS
+
+    pack = SharedArrayPack.attach(pack_handle)
+    model = SkipGramNS(noise_weights=noise_weights, seed=0, **model_kwargs)
+    # Lock-free shared writes: the Hogwild contract, PAR001-sanctioned here.
+    model.w_in = pack.array("w_in", writable=True)
+    model.w_out = pack.array("w_out", writable=True)
+    _WORKER["hogwild_pack"] = pack
+    _WORKER["hogwild_model"] = model
+
+
+def _hogwild_chunk(pairs: np.ndarray, seed: int, batch_size: int) -> tuple:
+    """Pool task: one worker's SGD pass over its chunk of the pair list."""
+    model = _WORKER["hogwild_model"]
+    model._rng = np.random.default_rng(seed)  # negatives substream per chunk
+    return model.train_pairs(pairs, batch_size=batch_size), int(pairs.shape[0])
+
+
+def hogwild_train_corpus(
+    model,
+    sentences,
+    window: int = 5,
+    epochs: int = 1,
+    batch_size: int = 64,
+    num_workers: int = 2,
+    callbacks=(),
+    name: str = "SGNS",
+) -> list[float]:
+    """Train ``model`` (a :class:`~repro.baselines.skipgram.SkipGramNS`)
+    on walk sentences with lock-free parallel updates.
+
+    Mirrors ``SkipGramNS.train_corpus`` epoch for epoch: each epoch
+    re-expands the corpus into shuffled pairs on the model's RNG, splits
+    them into one contiguous chunk per worker, and lets the workers race
+    over the shared tables.  Callbacks see the same
+    :class:`~repro.core.trainer.TrainState` protocol as the serial trainer
+    (weighted mean of the workers' local losses).
+
+    On return the tables are re-privatized into ordinary arrays and the
+    segment is unlinked, so the caller's model is indistinguishable from a
+    serially trained one (up to Hogwild's nondeterministic values).
+    """
+    from repro.baselines.skipgram import sentences_to_pairs
+
+    check_positive("num_workers", num_workers)
+    if num_workers < 2:
+        raise ValueError(
+            f"hogwild needs num_workers >= 2, got {num_workers} "
+            "(use the serial train_corpus path instead)"
+        )
+    check_positive("epochs", epochs)
+    pack = SharedArrayPack.create({"w_in": model.w_in, "w_out": model.w_out})
+    model_kwargs = dict(
+        num_nodes=model.num_nodes,
+        dim=model.dim,
+        num_negatives=model.num_negatives,
+        lr=model.lr,
+        clip=model.clip,
+        precision=model.precision,
+    )
+    pool = spawn_pool(
+        num_workers,
+        _init_hogwild_worker,
+        (pack.handle, model_kwargs, model._noise_weights),
+    )
+    history: list[float] = []
+    try:
+        for cb in callbacks:
+            begin = getattr(cb, "on_train_begin", None)
+            if begin is not None:
+                begin()
+        for epoch in range(epochs):
+            pairs = sentences_to_pairs(sentences, window, model._rng)
+            chunks = [c for c in np.array_split(pairs, num_workers) if c.size]
+            seeds = [int(model._rng.integers(2**63 - 1)) for _ in chunks]
+            futures = [
+                pool.submit(_hogwild_chunk, chunk, seed, batch_size)
+                for chunk, seed in zip(chunks, seeds)
+            ]
+            total, count = 0.0, 0
+            for f in futures:
+                loss, n = f.result()
+                total += loss * n
+                count += n
+            mean_loss = total / count
+            history.append(mean_loss)
+            state = TrainState(
+                epoch=epoch + 1,
+                epochs=epochs,
+                mean_loss=mean_loss,
+                history=history,
+                name=name,
+            )
+            stop = False
+            for cb in callbacks:
+                if cb.on_epoch_end(state):
+                    stop = True
+            if stop:
+                break
+    finally:
+        pool.shutdown(wait=True)
+        # Re-privatize the trained tables before unlinking the segment.
+        model.w_in = np.array(pack.array("w_in"))
+        model.w_out = np.array(pack.array("w_out"))
+        pack.close()
+    return history

@@ -1,0 +1,63 @@
+"""Shared-memory parameter state: one flat vector, visible to every worker.
+
+The sync trainer's parameter broadcast is not a broadcast at all: the
+leader rebinds its :class:`~repro.core.params.FlatParams` onto a *writable*
+view of a shared segment, workers rebind theirs onto read-only views of the
+same bytes, and every ``FlatAdam.step`` on the leader is instantly visible
+to all workers with zero copies and zero messages.
+
+This module is one of the two sanctioned shared-write sites (with the
+Hogwild weight tables) under reprolint rule PAR001: outside
+``repro/parallel``, shared-memory arrays stay read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import FlatParams
+from repro.storage.shared import PackHandle, SharedArrayPack
+
+
+class SharedParams:
+    """A flat parameter vector living in a shared-memory segment."""
+
+    _ARRAY = "params"
+
+    def __init__(self, pack: SharedArrayPack):
+        self._pack = pack
+
+    @classmethod
+    def create(cls, flat: FlatParams) -> "SharedParams":
+        """Snapshot ``flat``'s current values into a fresh segment (leader)."""
+        pack = SharedArrayPack.create({cls._ARRAY: flat.data})
+        return cls(pack)
+
+    @classmethod
+    def attach(cls, handle: PackHandle) -> "SharedParams":
+        """Map a leader's parameter segment (worker side)."""
+        return cls(SharedArrayPack.attach(handle))
+
+    @property
+    def handle(self) -> PackHandle:
+        return self._pack.handle
+
+    @property
+    def closed(self) -> bool:
+        return self._pack.closed
+
+    def writable(self) -> np.ndarray:
+        """The leader's live, writable view (PAR001-sanctioned)."""
+        return self._pack.array(self._ARRAY, writable=True)
+
+    def readonly(self) -> np.ndarray:
+        """A worker's read-only view of the same bytes."""
+        return self._pack.array(self._ARRAY)
+
+    def close(self) -> None:
+        """Release the mapping (owner: unlink); idempotent.
+
+        The leader must ``flat.rebind(flat.data.copy())`` first — tensors
+        still viewing the segment would go stale with it.
+        """
+        self._pack.close()

@@ -4,7 +4,10 @@ The :class:`GraphStorage` seam lets a :class:`~repro.graph.TemporalGraph`
 keep its base event table either in memory (:class:`ArrayStorage`, the
 default) or in a columnar, memory-mapped on-disk store
 (:class:`MemmapStorage` — one ``.npy`` per column under a dataset directory
-with a JSON manifest, columns mapped lazily).  Chunked ingestion goes
+with a JSON manifest, columns mapped lazily), or in a shared-memory segment
+(:class:`SharedMemoryStorage` — event columns plus the derived CSR indexes,
+attachable zero-copy from worker processes via a picklable handle; the
+substrate of ``repro.parallel``).  Chunked ingestion goes
 through :class:`MemmapStorageWriter`; :func:`validate_event_columns` is the
 shared validation gate for both backends and the graph itself.  See
 ``docs/architecture.md`` ("The storage layer") for the layout and the
@@ -27,12 +30,16 @@ from repro.storage.memmap import (
     StoreFormatError,
     is_store_dir,
 )
+from repro.storage.shared import PackHandle, SharedArrayPack, SharedMemoryStorage
 
 __all__ = [
     "GraphStorage",
     "ArrayStorage",
     "MemmapStorage",
     "MemmapStorageWriter",
+    "SharedMemoryStorage",
+    "SharedArrayPack",
+    "PackHandle",
     "StoreFormatError",
     "validate_event_columns",
     "is_store_dir",

@@ -136,6 +136,23 @@ class BatchedWalkEngine:
         anchor timestamp (reuse only across identical anchors — always safe);
         ``k > 0`` quantizes anchors into ``k`` buckets on the [0, 1] scale,
         trading temporal fidelity for more hits.
+    candidate_cap:
+        Cap on a node's per-hop candidate set in the temporal family; 0
+        (default) keeps the exact, uncapped behavior bitwise-unchanged.
+        With ``cap > 0``, a hop out of a hub gathers only that node's
+        ``cap`` *most recent* historical events instead of its entire
+        history, turning the per-hop cost from O(degree) into O(cap).
+
+        **Sampling note.**  This truncates Eq. 1's candidate distribution:
+        the dropped events are the *oldest* ones, whose weights
+        ``w · exp(-decay · dt)`` are the smallest under the exponential
+        decay, so for any ``decay > 0`` the removed probability mass decays
+        exponentially in the hub's history length and the capped
+        distribution is a close renormalization of the exact one.  With
+        ``decay = 0`` (uniform-in-history) the cap changes semantics to
+        "the ``cap`` most recent events" — choose it deliberately there.
+        Walks on capped engines are *not* bitwise-comparable to uncapped
+        ones on graphs containing nodes above the cap.
     """
 
     def __init__(
@@ -147,18 +164,21 @@ class BatchedWalkEngine:
         cache_size: int = 0,
         time_buckets: int = 0,
         real_dtype=np.float64,
+        candidate_cap: int = 0,
     ) -> None:
         check_positive("p", p)
         check_positive("q", q)
         check_non_negative("decay", decay)
         check_non_negative("cache_size", cache_size)
         check_non_negative("time_buckets", time_buckets)
+        check_non_negative("candidate_cap", candidate_cap)
         self.graph = graph
         self._real = np.dtype(real_dtype)
         self._idx = graph.index_dtype
         self.p = float(p)
         self.q = float(q)
         self.decay = float(decay)
+        self.candidate_cap = int(candidate_cap)
         indptr, nbr, times, weights, eids = graph.incidence_csr()
         self._indptr = indptr
         self._inc_nbr = nbr
@@ -290,7 +310,17 @@ class BatchedWalkEngine:
             active = active[has]
             if active.size == 0:
                 break
-            flat, lens, offs = _ragged_gather(lo[has], cut[has])
+            start = lo[has]
+            if self.candidate_cap:
+                # Hub windowing: gather only the ``candidate_cap`` most
+                # recent historical events instead of a hub's whole history.
+                # The incidence rows are time-sorted, so the window is the
+                # tail of ``[lo, cut)`` — the events Eq. 1's exponential
+                # decay weights highest; the truncated head carries the
+                # smallest weights, so the sampling bias is tiny (see the
+                # class docstring's sampling note).
+                start = np.maximum(start, cut[has] - self.candidate_cap)
+            flat, lens, offs = _ragged_gather(start, cut[has])
             cand_nbr = self._inc_nbr[flat]
             walk_of = np.repeat(np.arange(active.size, dtype=_I64), lens)
 

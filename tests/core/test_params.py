@@ -1,0 +1,153 @@
+"""FlatParams / FlatAdam: the state-isolation seam under the sync trainer.
+
+Two contracts matter.  Layout: flattening rebinds every tensor's ``data``
+onto views of one buffer without changing a single value, and ``rebind``
+relocates those views onto any same-shape buffer (the shared-memory move)
+and back.  Arithmetic: a :class:`FlatAdam` step from the concatenated
+gradient is *bitwise* identical to stepping the underlying tensors with
+per-tensor :class:`~repro.nn.optim.Adam` instances — in both precisions,
+with and without clipping — because that equivalence is what makes the
+data-parallel trainer's updates exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import FlatAdam, FlatParams, ParamGroup, ParamSpec
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+
+
+def make_tensors(dtype=np.float64, seed=0):
+    """Two named parameter tensors with deterministic contents."""
+    rng = np.random.default_rng(seed)
+    emb = Tensor(rng.normal(size=(6, 4)).astype(dtype), requires_grad=True)
+    net = Tensor(rng.normal(size=(3, 5)).astype(dtype), requires_grad=True)
+    return [("embedding", emb), ("net", net)]
+
+
+class TestFlatParams:
+    def test_layout_and_values_preserved(self):
+        named = make_tensors()
+        originals = [t.data.copy() for _, t in named]
+        flat = FlatParams(named)
+        assert flat.size == 6 * 4 + 3 * 5
+        assert [s.name for s in flat.specs] == ["embedding", "net"]
+        assert all(isinstance(s, ParamSpec) for s in flat.specs)
+        for (_, t), original in zip(named, originals):
+            np.testing.assert_array_equal(t.data, original)
+            # The tensor now aliases the flat buffer, not a private array.
+            assert t.data.base is flat.data or t.data.base is flat.data.base
+        np.testing.assert_array_equal(flat.view("embedding"), originals[0])
+        assert flat.slice_of("net") == slice(24, 39)
+
+    def test_tensor_writes_hit_the_flat_buffer(self):
+        named = make_tensors()
+        flat = FlatParams(named)
+        named[0][1].data[0, 0] = 123.0
+        assert flat.data[0] == 123.0
+        flat.data[24] = -7.0
+        assert named[1][1].data[0, 0] == -7.0
+
+    def test_rebind_relocates_and_round_trips(self):
+        named = make_tensors()
+        flat = FlatParams(named)
+        before = flat.snapshot()
+        elsewhere = flat.data.copy()
+        flat.rebind(elsewhere)
+        assert flat.data is elsewhere
+        named[0][1].data[0, 0] = 42.0
+        assert elsewhere[0] == 42.0
+        # Re-privatize: values carry over, aliasing to `elsewhere` ends.
+        flat.rebind(flat.data.copy())
+        elsewhere[0] = 0.0
+        assert named[0][1].data[0, 0] == 42.0
+        assert flat.data[1:].tolist() == before[1:].tolist()
+
+    def test_snapshot_load_and_grad_vector(self):
+        named = make_tensors()
+        flat = FlatParams(named)
+        vec = flat.snapshot() + 1.0
+        flat.load(vec)
+        np.testing.assert_array_equal(flat.data, vec)
+        named[0][1].grad = np.ones_like(named[0][1].data)
+        named[1][1].grad = None  # missing grad contributes zeros
+        grad = flat.grad_vector()
+        np.testing.assert_array_equal(grad[:24], 1.0)
+        np.testing.assert_array_equal(grad[24:], 0.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FlatParams([])
+        mixed = [
+            ("a", Tensor(np.zeros(2, dtype=np.float64), requires_grad=True)),
+            ("b", Tensor(np.zeros(2, dtype=np.float32), requires_grad=True)),
+        ]
+        with pytest.raises(ValueError, match="multiple dtypes"):
+            FlatParams(mixed)
+        flat = FlatParams(make_tensors())
+        with pytest.raises(KeyError):
+            flat.view("nope")
+        with pytest.raises(ValueError):
+            flat.load(np.zeros(3, dtype=np.float64))
+        with pytest.raises(ValueError):
+            flat.rebind(np.zeros(flat.size + 1, dtype=np.float64))
+        with pytest.raises(ValueError):
+            flat.rebind(np.zeros(flat.size, dtype=np.float32))
+
+
+def groups_for(flat: FlatParams, lr_a: float, lr_b: float, clip=None):
+    a, b = flat.specs
+    return [
+        ParamGroup("embedding", a.start, a.stop, lr=lr_a, clip=clip),
+        ParamGroup("net", b.start, b.stop, lr=lr_b, clip=clip),
+    ]
+
+
+class TestFlatAdam:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("clip", [None, 0.5])
+    def test_bitwise_equal_to_per_tensor_adam(self, dtype, clip):
+        named_flat = make_tensors(dtype=dtype, seed=3)
+        named_ref = make_tensors(dtype=dtype, seed=3)
+        flat = FlatParams(named_flat)
+        opt = FlatAdam(flat, groups_for(flat, lr_a=0.01, lr_b=0.002, clip=clip))
+        ref_opts = [
+            Adam([named_ref[0][1]], lr=0.01, clip=clip),
+            Adam([named_ref[1][1]], lr=0.002, clip=clip),
+        ]
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            grads = [rng.normal(size=t.data.shape).astype(dtype) for _, t in named_ref]
+            for (_, t), g in zip(named_ref, grads):
+                t.grad = g.copy()
+            for ref in ref_opts:
+                ref.step()
+            opt.step(np.concatenate([g.ravel() for g in grads]))
+        assert opt.t == 5
+        for (_, t_flat), (_, t_ref) in zip(named_flat, named_ref):
+            np.testing.assert_array_equal(t_flat.data, t_ref.data)
+
+    def test_validation_errors(self):
+        flat = FlatParams(make_tensors())
+        a, b = flat.specs
+        gap = [
+            ParamGroup("a", a.start, a.stop - 1, lr=0.01),
+            ParamGroup("b", a.stop, b.stop, lr=0.01),
+        ]
+        with pytest.raises(ValueError, match="contiguously"):
+            FlatAdam(flat, gap)
+        short = [ParamGroup("a", 0, flat.size - 1, lr=0.01)]
+        with pytest.raises(ValueError, match="size"):
+            FlatAdam(flat, short)
+        with pytest.raises(ValueError, match="betas"):
+            FlatAdam(flat, groups_for(flat, 0.01, 0.01), betas=(1.0, 0.999))
+        with pytest.raises(ValueError):
+            FlatAdam(flat, [])
+        opt = FlatAdam(flat, groups_for(flat, 0.01, 0.01))
+        with pytest.raises(ValueError):
+            opt.step(np.zeros(flat.size - 1, dtype=np.float64))
+        with pytest.raises(ValueError):
+            opt.step(np.zeros(flat.size, dtype=np.float32))

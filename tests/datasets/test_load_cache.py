@@ -172,3 +172,31 @@ class TestStorageBackendKey:
         with pytest.raises(UnknownDatasetError):
             load("no-such-dataset", seed=0, storage=tmp_path / "s")
         assert not (tmp_path / "s").exists()
+
+
+class TestSharedBackendKey:
+    """``shared=True`` is part of the memoization key too."""
+
+    def test_shared_request_never_served_the_memory_entry(self):
+        g_mem = load("digg", scale=0.05, seed=3)
+        g_shm = load("digg", scale=0.05, seed=3, shared=True)
+        info = load_cache_info()
+        assert info["misses"] == 2 and info["hits"] == 0
+        assert g_mem.storage_backend == "memory"
+        assert g_shm.storage_backend == "shared"
+        np.testing.assert_array_equal(g_mem.src, g_shm.src)
+        np.testing.assert_array_equal(g_mem.time, g_shm.time)
+
+    def test_shared_entry_hits_and_clones_share_one_segment(self):
+        g1 = load("digg", scale=0.05, seed=3, shared=True)
+        g2 = load("digg", scale=0.05, seed=3, shared=True)
+        assert load_cache_info()["hits"] == 1
+        assert g2.storage_backend == "shared"
+        # Cache-served clones attach the same segment, not a new one.
+        assert g2.shared_handle.name == g1.shared_handle.name
+
+    def test_memory_request_never_served_the_shared_entry(self):
+        load("digg", scale=0.05, seed=3, shared=True)
+        g = load("digg", scale=0.05, seed=3)
+        assert load_cache_info()["misses"] == 2
+        assert g.storage_backend == "memory"

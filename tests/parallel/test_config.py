@@ -1,0 +1,33 @@
+"""EHNAConfig's parallelism knobs validate and default to the legacy path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EHNAConfig
+
+
+class TestParallelConfig:
+    def test_defaults_keep_the_legacy_path(self):
+        cfg = EHNAConfig()
+        assert cfg.num_workers == 1
+        assert cfg.parallel == "sync"
+        assert cfg.parallel_shards == 8
+        assert cfg.candidate_cap == 0
+        cfg.validate()
+
+    @pytest.mark.parametrize("mode", ["sync", "hogwild"])
+    def test_known_modes_validate(self, mode):
+        EHNAConfig(parallel=mode, num_workers=2).validate()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            EHNAConfig(parallel="async").validate()
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            EHNAConfig(num_workers=-1).validate()
+        with pytest.raises(ValueError):
+            EHNAConfig(candidate_cap=-1).validate()
+        with pytest.raises(ValueError):
+            EHNAConfig(parallel_shards=0).validate()

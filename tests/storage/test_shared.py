@@ -1,0 +1,263 @@
+"""SharedMemoryStorage: round-trips, attach, write discipline, cleanup.
+
+The shared backend's contract has three legs: (1) a ``to_shared()`` twin is
+bitwise-equal to its source graph, columns and CSR indexes alike; (2) every
+handed-out view is frozen, with ``writable=True`` as the only (PAR001-
+confined) escape hatch; (3) the owner — and only the owner — unlinks the
+segment, exactly once, no matter how many times ``close`` runs or whether
+the finalizer or the interpreter exit gets there first.  The subprocess
+regression tests pin the cleanup leg where it actually broke once: the
+resource-tracker daemon must stay silent across create/attach/exit.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets import load, load_cache_clear
+from repro.graph.temporal_graph import TemporalGraph
+from repro.storage import PackHandle, SharedArrayPack, SharedMemoryStorage
+from repro.walks.engine import BatchedWalkEngine
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    load_cache_clear()
+    yield
+    load_cache_clear()
+
+
+@pytest.fixture
+def graph():
+    return load("digg", scale=0.05, seed=13)
+
+
+def run_script(body: str, script_path: Path | None = None) -> subprocess.CompletedProcess:
+    """Run an isolated interpreter over ``body`` with repro importable.
+
+    Scripts that spawn worker processes must go through a real file
+    (``script_path``): a spawn child re-imports ``__main__``, which an
+    ``-c`` command line cannot provide.
+    """
+    env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+    if script_path is None:
+        argv = [sys.executable, "-c", textwrap.dedent(body)]
+    else:
+        script_path.write_text(textwrap.dedent(body))
+        argv = [sys.executable, str(script_path)]
+    return subprocess.run(
+        argv, capture_output=True, text=True, env=env, timeout=120,
+    )
+
+
+class TestSharedArrayPack:
+    def test_create_and_read_back(self):
+        arrays = {
+            "a": np.arange(7, dtype=np.int64),
+            "b": np.linspace(0.0, 1.0, 5, dtype=np.float32),
+        }
+        pack = SharedArrayPack.create(arrays, meta={"k": 3})
+        try:
+            assert pack.names() == ("a", "b")
+            assert pack.owner and not pack.closed
+            assert pack.handle.meta_dict() == {"k": 3}
+            for name, source in arrays.items():
+                view = pack.array(name)
+                assert view.dtype == source.dtype
+                np.testing.assert_array_equal(view, source)
+        finally:
+            pack.close()
+
+    def test_views_are_frozen_and_writable_rederives(self):
+        pack = SharedArrayPack.create({"w": np.zeros(4, dtype=np.float64)})
+        try:
+            frozen = pack.array("w")
+            assert not frozen.flags.writeable
+            with pytest.raises(ValueError):
+                frozen[0] = 1.0
+            live = pack.array("w", writable=True)
+            live[0] = 7.0  # same bytes: visible through the frozen view
+            assert frozen[0] == 7.0
+        finally:
+            pack.close()
+
+    def test_attach_round_trips_through_pickle(self):
+        source = np.arange(12, dtype=np.float64).reshape(3, 4)
+        owner = SharedArrayPack.create({"m": source})
+        try:
+            handle = pickle.loads(pickle.dumps(owner.handle))
+            assert isinstance(handle, PackHandle)
+            attached = SharedArrayPack.attach(handle)
+            try:
+                assert not attached.owner
+                view = attached.array("m")
+                assert not view.flags.writeable
+                np.testing.assert_array_equal(view, source)
+            finally:
+                attached.close()
+        finally:
+            owner.close()
+
+    def test_unknown_array_and_empty_pack_raise(self):
+        with pytest.raises(ValueError):
+            SharedArrayPack.create({})
+        pack = SharedArrayPack.create({"a": np.zeros(2, dtype=np.int64)})
+        try:
+            with pytest.raises(KeyError):
+                pack.array("nope")
+            with pytest.raises(KeyError):
+                pack.array("nope", writable=True)
+        finally:
+            pack.close()
+
+    def test_double_close_is_idempotent_and_unlinks(self):
+        pack = SharedArrayPack.create({"a": np.zeros(3, dtype=np.int64)})
+        name = pack.segment_name
+        pack.close()
+        assert pack.closed
+        pack.close()  # second close: no-op, no raise
+        with pytest.raises(ValueError):
+            pack.array("a")
+        # The owner's close unlinked the name: nobody can attach any more.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+    def test_attached_close_leaves_segment_alive(self):
+        owner = SharedArrayPack.create({"a": np.arange(3, dtype=np.int64)})
+        try:
+            attached = SharedArrayPack.attach(owner.handle)
+            attached.close()
+            attached.close()  # idempotent on the worker side too
+            # The owner still reads its segment after a worker detaches.
+            np.testing.assert_array_equal(owner.array("a"), np.arange(3))
+        finally:
+            owner.close()
+
+
+class TestSharedMemoryStorage:
+    def test_to_shared_twin_is_bitwise_equal(self, graph):
+        twin = graph.to_shared()
+        try:
+            assert twin.storage_backend == "shared"
+            assert twin.num_nodes == graph.num_nodes
+            assert twin.num_edges == graph.num_edges
+            for col in ("src", "dst", "time", "weight"):
+                a, b = getattr(graph, col), getattr(twin, col)
+                assert a.dtype == b.dtype
+                np.testing.assert_array_equal(a, b)
+            for a, b in zip(graph.incidence_csr(), twin.incidence_csr()):
+                assert a.dtype == b.dtype
+                np.testing.assert_array_equal(a, b)
+            for a, b in zip(graph.distinct_csr(), twin.distinct_csr()):
+                np.testing.assert_array_equal(a, b)
+        finally:
+            twin.storage.close()
+
+    def test_from_handle_same_process_walks_bitwise_equal(self, graph):
+        twin = graph.to_shared()
+        try:
+            other = TemporalGraph.from_handle(twin.shared_handle)
+            starts = np.arange(min(16, graph.num_nodes), dtype=np.int64)
+            anchors = np.full(starts.size, float(graph.time[-1]) + 1.0)
+            ref = BatchedWalkEngine(graph).temporal(
+                starts, anchors, 2, 8, np.random.default_rng(5)
+            )
+            got = BatchedWalkEngine(other).temporal(
+                starts, anchors, 2, 8, np.random.default_rng(5)
+            )
+            assert len(ref) == len(got)
+            for a, b in zip(ref, got):
+                assert a.nodes == b.nodes
+        finally:
+            twin.storage.close()
+
+    def test_shared_handle_requires_shared_backend(self, graph):
+        with pytest.raises(ValueError):
+            graph.shared_handle
+
+    def test_missing_arrays_rejected(self):
+        with pytest.raises(ValueError, match="missing graph arrays"):
+            SharedMemoryStorage.from_graph_arrays(
+                columns={"src": np.zeros(1, dtype=np.int64)},
+                derived={},
+                num_nodes=1,
+            )
+
+    def test_storage_close_is_idempotent(self, graph):
+        twin = graph.to_shared()
+        store = twin.storage
+        store.close()
+        assert store.closed
+        store.close()
+
+
+class TestCleanupAcrossProcesses:
+    """No leaked segments, no resource-tracker noise — the regression leg."""
+
+    def test_exit_without_close_unlinks_and_stays_silent(self):
+        # The finalizer (not an explicit close) must unlink at interpreter
+        # exit, without the tracker daemon reporting leaked shared_memory.
+        proc = run_script("""
+            import numpy as np
+            from repro.storage import SharedArrayPack
+            pack = SharedArrayPack.create({"a": np.zeros(64, dtype=np.float64)})
+            print(pack.segment_name)
+        """)
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip()
+        assert proc.stderr == ""
+        assert "resource_tracker" not in proc.stderr
+        # The segment really is gone from this (outer) process's view too.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+    @pytest.mark.parallel
+    def test_spawn_child_attach_leaves_tracker_silent(self, tmp_path):
+        # A spawn child attaching and detaching must not confuse the shared
+        # tracker daemon: the owner's unlink is the one unregister.  (An
+        # explicit unregister-on-attach caused a tracker KeyError here.)
+        proc = run_script("""
+            import multiprocessing as mp
+            import numpy as np
+            from repro.datasets import load
+            from repro.graph.temporal_graph import TemporalGraph
+
+
+            def child(handle, out):
+                graph = TemporalGraph.from_handle(handle)
+                out.put(int(graph.num_edges))
+                graph.storage.close()
+
+
+            if __name__ == "__main__":
+                ctx = mp.get_context("spawn")
+                shared = load("digg", scale=0.05, seed=13).to_shared()
+                out = ctx.Queue()
+                proc = ctx.Process(
+                    target=child, args=(shared.shared_handle, out)
+                )
+                proc.start()
+                assert out.get(timeout=60) == shared.num_edges
+                proc.join(60)
+                assert proc.exitcode == 0
+                shared.storage.close()
+                print("ok")
+        """, script_path=tmp_path / "spawn_attach.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "ok" in proc.stdout
+        assert "resource_tracker" not in proc.stderr
+        assert "KeyError" not in proc.stderr

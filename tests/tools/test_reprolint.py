@@ -31,7 +31,9 @@ from tools.reprolint import (  # noqa: E402
     write_baseline,
 )
 
-ALL_RULE_IDS = ("RNG001", "DTYPE001", "SEAM001", "DUR001", "API001", "TEST001")
+ALL_RULE_IDS = (
+    "RNG001", "DTYPE001", "SEAM001", "DUR001", "API001", "PAR001", "TEST001",
+)
 
 #: A pytest.ini registering one custom marker, for TEST001 fixtures.
 PYTEST_INI = "[pytest]\nmarkers =\n    slow: long-running\n"
@@ -56,7 +58,7 @@ def rule_ids(findings) -> list[str]:
 # ---------------------------------------------------------------------------
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     ids = [cls.rule_id for cls in registered_rule_classes()]
     assert list(ALL_RULE_IDS) == ids
     for cls in registered_rule_classes():
@@ -287,6 +289,65 @@ def test_api001_clean_when_documented_or_unexported(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# PAR001
+# ---------------------------------------------------------------------------
+
+
+def test_par001_flags_writable_keyword_outside_parallel(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/core/foo.py": (
+            "def f(pack):\n"
+            "    return pack.array('params', writable=True)\n"
+        ),
+    })
+    assert rule_ids(findings) == ["PAR001"]
+    assert findings[0].line == 2
+    assert "writable=True" in findings[0].message
+
+
+def test_par001_flags_flag_flip_and_setflags(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "src/repro/core/foo.py": (
+            "def f(view, flag):\n"
+            "    view.flags.writeable = True\n"
+            "    view.setflags(write=True)\n"
+            "    view.flags.writeable = flag\n"  # dynamic: still a flip
+        ),
+    })
+    assert rule_ids(findings) == ["PAR001", "PAR001", "PAR001"]
+    assert [finding.line for finding in findings] == [2, 3, 4]
+
+
+def test_par001_allows_parallel_package_and_freezing(tmp_path):
+    findings = lint_tree(tmp_path, {
+        # The worker-pool modules are the sanctioned mutation sites.
+        "src/repro/parallel/foo.py": (
+            "def f(pack):\n"
+            "    return pack.array('w_in', writable=True)\n"
+        ),
+        # Freezing a view (and asking for the frozen default) is fine
+        # anywhere — that's the contract, not a violation of it.
+        "src/repro/storage/foo.py": (
+            "def f(view, pack):\n"
+            "    view.flags.writeable = False\n"
+            "    view.setflags(write=False)\n"
+            "    return pack.array('params', writable=False)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_par001_scoped_to_src(tmp_path):
+    findings = lint_tree(tmp_path, {
+        "tests/test_foo.py": (
+            "def test_x(pack):\n"
+            "    assert pack.array('params', writable=True) is not None\n"
+        ),
+    })
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # TEST001
 # ---------------------------------------------------------------------------
 
@@ -461,6 +522,21 @@ def test_adding_global_rng_to_layers_is_caught(tmp_path):
     expected_line = next(
         i for i, text in enumerate(mutated.splitlines(), start=1)
         if "BAD_DRAW" in text
+    )
+    assert findings[0].line == expected_line
+
+
+def test_unfreezing_a_shared_view_in_core_is_caught(tmp_path):
+    rel = "src/repro/core/model.py"
+    mutated = (REPO_ROOT / rel).read_text() + (
+        "\ndef _leak(pack):\n    return pack.array('params', writable=True)\n"
+    )
+    _copy_into(tmp_path, rel, mutated)
+    findings = Engine(tmp_path).check_paths([tmp_path / "src"])
+    assert rule_ids(findings) == ["PAR001"]
+    expected_line = next(
+        i for i, text in enumerate(mutated.splitlines(), start=1)
+        if "writable=True" in text
     )
     assert findings[0].line == expected_line
 

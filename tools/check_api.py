@@ -33,7 +33,17 @@ Two gates, both wired into ``make test`` via ``make api-check``:
    path is built on.  This keeps a new backend (or a graph refactor) from
    shipping half the seam.
 
-5. **Durability** — ``repro.stream`` must export the WAL surface
+5. **Parallelism** — ``repro.storage`` must export the shared-memory
+   backend (``SharedMemoryStorage``/``SharedArrayPack``/``PackHandle``),
+   ``TemporalGraph`` must keep ``to_shared``/``from_handle``/
+   ``shared_handle``, ``repro.parallel`` must export the worker-pool
+   surface, ``repro.core`` must export the flat-parameter seam
+   (``FlatParams``/``FlatAdam``), ``EHNAConfig`` must carry and validate
+   the ``num_workers``/``parallel``/``parallel_shards`` knobs, and the
+   SGNS baselines must accept ``num_workers`` end to end.  This keeps a
+   refactor from silently stranding the data-parallel path.
+
+6. **Durability** — ``repro.stream`` must export the WAL surface
    (``WriteAheadLog``/``WALRecord`` and the error taxonomy),
    ``OnlineService`` must keep ``checkpoint``/``recover``/``close``, the
    fault-injection helpers in ``repro.utils.faults`` must stay importable
@@ -299,6 +309,9 @@ STORAGE_EXPORTS = (
     "ArrayStorage",
     "MemmapStorage",
     "MemmapStorageWriter",
+    "SharedMemoryStorage",
+    "SharedArrayPack",
+    "PackHandle",
     "StoreFormatError",
     "validate_event_columns",
     "is_store_dir",
@@ -330,7 +343,7 @@ def check_storage_surface() -> list[str]:
         if not hasattr(storage, name):
             problems.append(f"storage: repro.storage does not export {name}")
 
-    for backend_name in ("ArrayStorage", "MemmapStorage"):
+    for backend_name in ("ArrayStorage", "MemmapStorage", "SharedMemoryStorage"):
         backend = getattr(storage, backend_name, None)
         if backend is None:
             continue
@@ -360,6 +373,106 @@ def check_storage_surface() -> list[str]:
     for prop in GRAPH_STORAGE_PROPERTIES:
         if not isinstance(getattr(TemporalGraph, prop, None), property):
             problems.append(f"TemporalGraph: missing property {prop}")
+    return problems
+
+
+#: The repro.parallel exports the data-parallel path is built on.
+PARALLEL_EXPORTS = (
+    "ParallelWalkEngine",
+    "SharedParams",
+    "fit_data_parallel",
+    "hogwild_train_corpus",
+    "spawn_pool",
+    "shard_ranges",
+    "shard_rng",
+    "shard_seed_seq",
+)
+
+#: The flat-parameter seam workers rebind training state through.
+PARAMS_EXPORTS = ("FlatParams", "FlatAdam", "ParamGroup", "ParamSpec")
+
+#: The graph-side surface the shared-memory path is built on.
+GRAPH_SHARED_CALLABLES = ("to_shared", "from_handle")
+
+#: Config knobs the dispatcher in EHNA.fit keys on.
+PARALLEL_CONFIG_FIELDS = ("num_workers", "parallel", "parallel_shards", "candidate_cap")
+
+
+def check_parallel_surface() -> list[str]:
+    """Violations of the data-parallelism surface (empty list = clean)."""
+    import inspect
+
+    problems = []
+    try:
+        import repro.parallel as parallel
+    except ImportError as exc:
+        return [f"parallel: package missing: {exc}"]
+
+    for name in PARALLEL_EXPORTS:
+        if not hasattr(parallel, name):
+            problems.append(f"parallel: repro.parallel does not export {name}")
+
+    import repro.core as core
+
+    for name in PARAMS_EXPORTS:
+        if not hasattr(core, name):
+            problems.append(f"parallel: repro.core does not export {name}")
+
+    from repro.graph.temporal_graph import TemporalGraph
+
+    for attr in GRAPH_SHARED_CALLABLES:
+        if not callable(getattr(TemporalGraph, attr, None)):
+            problems.append(f"TemporalGraph: missing callable {attr}()")
+    if not isinstance(getattr(TemporalGraph, "shared_handle", None), property):
+        problems.append("TemporalGraph: missing property shared_handle")
+
+    from dataclasses import fields
+
+    from repro.core import EHNAConfig
+
+    config_fields = {f.name for f in fields(EHNAConfig)}
+    for name in PARALLEL_CONFIG_FIELDS:
+        if name not in config_fields:
+            problems.append(f"EHNAConfig: missing field {name}")
+    try:
+        EHNAConfig(parallel="no-such-mode").validate()
+        problems.append("EHNAConfig.validate accepted an unknown parallel mode")
+    except ValueError:
+        pass
+
+    # The SGNS engine (and every baseline built on it) must plumb the
+    # worker count through to the Hogwild path.
+    from repro.baselines.skipgram import SkipGramNS
+
+    sig = inspect.signature(SkipGramNS.train_corpus)
+    workers = sig.parameters.get("num_workers")
+    if workers is None or workers.default != 1:
+        problems.append(
+            "SkipGramNS: train_corpus must accept num_workers=1 "
+            "(the Hogwild dispatch seam)"
+        )
+    for klass in all_method_classes():
+        if klass.__name__ in ("Node2Vec", "DeepWalk", "CTDNE"):
+            try:
+                model = klass(num_workers=2)
+            except Exception as exc:
+                problems.append(
+                    f"{klass.__name__}: construction with num_workers=2 "
+                    f"failed: {exc}"
+                )
+                continue
+            if getattr(model, "num_workers", None) != 2:
+                problems.append(
+                    f"{klass.__name__}: constructor does not store num_workers"
+                )
+
+    # datasets.load(shared=True) is how benchmark grids request a
+    # worker-attachable graph; the kwarg must stay (with its default off).
+    from repro.datasets import load
+
+    shared = inspect.signature(load).parameters.get("shared")
+    if shared is None or shared.default is not False:
+        problems.append("datasets.load: missing shared=False parameter")
     return problems
 
 
@@ -493,6 +606,16 @@ def main() -> int:
         print(
             "api-check: storage surface complete "
             "(backend protocol, memmap store + writer, graph seam)"
+        )
+    parallel_problems = check_parallel_surface()
+    if parallel_problems:
+        failures += 1
+        for line in parallel_problems:
+            print(f"api-check: {line}", file=sys.stderr)
+    else:
+        print(
+            "api-check: parallel surface complete "
+            "(shared backend, flat params, worker pools, config knobs)"
         )
     durability_problems = check_durability_surface()
     if durability_problems:

@@ -56,6 +56,11 @@ MIRRORS = [
         "python",
         "examples/invariant_checking.py",
     ),
+    (
+        "## Using every core",
+        "python",
+        "examples/parallel_training.py",
+    ),
 ]
 
 

@@ -1,7 +1,7 @@
 """The rule plugins: each encodes one machine-checked repo contract.
 
 Every rule is a :class:`~tools.reprolint.engine.Rule` subclass registered
-via :func:`~tools.reprolint.engine.register`.  The six shipped rules map
+via :func:`~tools.reprolint.engine.register`.  The seven shipped rules map
 one-to-one onto invariants earlier PRs established by convention:
 
 ========  ==============================================================
@@ -11,6 +11,7 @@ SEAM001   storage seam: no private column access outside graph/storage
 DUR001    durability: fsync before every ``os.replace`` publish
 API001    API hygiene: ``__all__`` exports carry docstrings
 TEST001   test hygiene: pytest markers must be registered in pytest.ini
+PAR001    parallelism: shared arrays mutate only inside ``parallel/``
 ========  ==============================================================
 
 Path scopes are expressed against the scan root, so the same rules run
@@ -51,6 +52,9 @@ _SEAM_DIRS = ("src/repro/graph/", "src/repro/storage/")
 #: Files bound by the fsync-before-publish durability protocol (PR7/PR8).
 _DURABILITY_FILES = ("src/repro/stream/wal.py", "src/repro/utils/checkpoint.py")
 _DURABILITY_DIRS = ("src/repro/storage/",)
+
+#: The only package allowed to unfreeze shared-memory array views (PR10).
+_PARALLEL_DIRS = ("src/repro/parallel/",)
 
 #: Marker names pytest itself defines; never required in pytest.ini.
 _BUILTIN_MARKS = frozenset({
@@ -297,6 +301,72 @@ class PublicDocstringRule(Rule):
                     ctx, node.lineno,
                     f"public {kind} {node.name!r} is exported via __all__ "
                     "but has no docstring",
+                )
+
+
+@register
+class SharedMutationRule(Rule):
+    """PAR001 — shared-memory arrays are written only inside ``parallel/``.
+
+    PR10's isolation contract: :class:`~repro.storage.SharedArrayPack`
+    hands out *frozen* views (``writeable=False``), and only the
+    sanctioned sites in ``repro/parallel`` (the leader's live parameter
+    view, the Hogwild worker tables) re-derive write access.  A
+    ``writable=True`` call — or a flag flip back to writeable — anywhere
+    else lets two processes race on the same buffer with no protocol.
+    """
+
+    rule_id = "PAR001"
+    title = "no shared-array write access outside parallel/"
+    contract = (
+        "outside repro/parallel, nothing re-enables writes on a shared "
+        "view: no writable=True keyword, no .flags.writeable flip and no "
+        "setflags(write=...) to anything but False (freezing is fine)"
+    )
+    interests = (ast.Assign, ast.Call)
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.rel.startswith("src/") and not _in_dirs(ctx.rel, _PARALLEL_DIRS)
+
+    @staticmethod
+    def _is_false(node: ast.AST) -> bool:
+        return isinstance(node, ast.Constant) and node.value is False
+
+    def visit(self, node, ctx: FileContext):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "writeable"
+                    and isinstance(target.value, ast.Attribute)
+                    and target.value.attr == "flags"
+                    and not self._is_false(node.value)
+                ):
+                    yield self.finding(
+                        ctx, node.lineno,
+                        ".flags.writeable set to a non-False value outside "
+                        "repro/parallel — shared views stay frozen; only the "
+                        "worker-pool modules may re-derive write access",
+                    )
+            return
+        dotted = dotted_name(node.func)
+        tail = dotted.rsplit(".", 1)[-1] if dotted else ""
+        if tail == "setflags":
+            for keyword in node.keywords:
+                if keyword.arg == "write" and not self._is_false(keyword.value):
+                    yield self.finding(
+                        ctx, node.lineno,
+                        "setflags(write=...) re-enables writes outside "
+                        "repro/parallel — shared views stay frozen; only the "
+                        "worker-pool modules may re-derive write access",
+                    )
+        for keyword in node.keywords:
+            if keyword.arg == "writable" and not self._is_false(keyword.value):
+                yield self.finding(
+                    ctx, node.lineno,
+                    "writable=True requests a mutable shared view outside "
+                    "repro/parallel — read through the frozen default view, "
+                    "or move the mutation into the worker-pool modules",
                 )
 
 
